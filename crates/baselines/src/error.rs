@@ -1,0 +1,56 @@
+//! Error type for baseline constructions.
+
+use core::fmt;
+
+use star_ring::EmbedError;
+
+/// Errors raised by the baseline embeddings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Propagated from the shared embedding machinery.
+    Embed(EmbedError),
+    /// The fault set exceeds what the baseline supports.
+    TooManyFaults {
+        /// Faults supplied.
+        supplied: usize,
+        /// The supported budget.
+        budget: usize,
+    },
+    /// The Latifi–Bagherzadeh construction needs the faults to fit in a
+    /// proper sub-star; these faults only fit in `S_n` itself.
+    NotClustered,
+    /// Endpoints passed to a laceability query have the same parity (no
+    /// Hamiltonian path can exist in a bipartite graph with equal sides).
+    SameParityEndpoints,
+    /// A construction step failed (would indicate a bug; surfaced, never
+    /// absorbed).
+    ConstructionFailed(&'static str),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Embed(e) => write!(f, "embedding machinery failed: {e}"),
+            BaselineError::TooManyFaults { supplied, budget } => {
+                write!(f, "{supplied} faults exceed baseline budget {budget}")
+            }
+            BaselineError::NotClustered => {
+                write!(f, "faults do not fit in any proper sub-star")
+            }
+            BaselineError::SameParityEndpoints => {
+                write!(f, "Hamiltonian path endpoints must have opposite parity")
+            }
+            BaselineError::ConstructionFailed(what) => {
+                write!(f, "baseline construction failed: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<EmbedError> for BaselineError {
+    fn from(e: EmbedError) -> Self {
+        BaselineError::Embed(e)
+    }
+}

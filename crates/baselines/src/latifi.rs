@@ -1,0 +1,280 @@
+//! The Latifi–Bagherzadeh clustered baseline: a ring of length `n! - m!`.
+//!
+//! Latifi & Bagherzadeh ("Hamiltonicity of the clustered-star graph", 1996)
+//! embed rings in faulty star graphs by discarding the **smallest embedded
+//! sub-star `S_m` that contains every fault** and walking a Hamiltonian
+//! cycle of the rest. The cost is `m!` vertices — excellent when faults
+//! cluster tightly, catastrophic when they spread (`m` close to `n`),
+//! which is exactly the comparison Experiment E3 quantifies.
+//!
+//! Construction here:
+//!
+//! * compute the cluster `C` = the pattern pinning every position (other
+//!   than the pivot) on which all faults agree; its order `m` is minimal.
+//!   Rings in a bipartite graph lose vertices in pairs, so `m` is raised
+//!   to at least 2 (a single fault still costs its partner — consistent
+//!   with the paper's own `n! - 2|F_v|` at `|F_v| = 1`);
+//! * if `m <= 3`: build an `R^4` whose partition positions are pins of
+//!   `C`, so `C` nests strictly inside a single 4-block `D`; walk the
+//!   block ring with `D` as a *hole* (exact path over its `24 - m!`
+//!   healthy vertices);
+//! * if `m >= 4`: stop the hierarchy at level `m`, keeping `C` strictly
+//!   interior to its parent's path (its ring neighbors are then siblings,
+//!   hence mutually adjacent), drop `C` from the ring, and walk the rest
+//!   with recursive Hamiltonian paths.
+
+use star_fault::FaultSet;
+use star_graph::{Pattern, SuperRing};
+use star_perm::MAX_N;
+use star_ring::{hierarchy, EmbeddedRing};
+
+use crate::laceable::{self, Hole};
+use crate::BaselineError;
+
+/// Result of the clustered construction.
+#[derive(Debug, Clone)]
+pub struct LatifiRing {
+    /// The embedded ring (length `n! - m!`).
+    pub ring: EmbeddedRing,
+    /// The discarded sub-star's order `m` (after the bipartite floor of 2).
+    pub m: usize,
+    /// The discarded sub-star.
+    pub discarded: Pattern,
+}
+
+/// The minimal embedded sub-star containing every fault (with the
+/// bipartite floor `m >= 2`). `None` when the faults only fit in `S_n`
+/// itself.
+pub fn minimal_cluster(n: usize, faults: &FaultSet) -> Option<Pattern> {
+    let fv = faults.vertices();
+    if fv.is_empty() {
+        return None;
+    }
+    let mut spec = [0u8; MAX_N];
+    let mut pinned = 0usize;
+    for (pos, slot) in spec.iter_mut().enumerate().take(n).skip(1) {
+        let s = fv[0].get(pos);
+        if fv.iter().all(|f| f.get(pos) == s) {
+            *slot = s;
+            pinned += 1;
+        }
+    }
+    if pinned == 0 {
+        return None;
+    }
+    // Bipartite floor: un-pin one position if the cluster degenerated to a
+    // single vertex (m = 1).
+    if n - pinned < 2 {
+        for pos in (1..n).rev() {
+            if spec[pos] != 0 {
+                spec[pos] = 0;
+                break;
+            }
+        }
+    }
+    Some(Pattern::from_spec(&spec[..n]).expect("agreeing symbols form a valid pattern"))
+}
+
+/// Embeds the Latifi–Bagherzadeh ring: length `n! - m!` where `m` is the
+/// minimal cluster order (floored at 2).
+///
+/// # Examples
+///
+/// ```
+/// use star_baselines::latifi::latifi_ring;
+/// use star_fault::gen;
+///
+/// // Three faults packed into an S_3 of S_6: discard that sub-star.
+/// let faults = gen::clustered_in_substar(6, 3, 3, 0).unwrap();
+/// let res = latifi_ring(6, &faults).unwrap();
+/// assert_eq!(res.m, 3);
+/// assert_eq!(res.ring.len(), 720 - 6);
+/// ```
+pub fn latifi_ring(n: usize, faults: &FaultSet) -> Result<LatifiRing, BaselineError> {
+    if faults.vertex_fault_count() == 0 {
+        return Err(BaselineError::ConstructionFailed(
+            "latifi_ring needs at least one fault; use hamiltonian_cycle",
+        ));
+    }
+    let cluster = minimal_cluster(n, faults).ok_or(BaselineError::NotClustered)?;
+    let m = cluster.r();
+    debug_assert!((2..n).contains(&m));
+    let pinned: Vec<usize> = cluster.fixed_positions().collect();
+
+    if n == 4 {
+        // S_4 is a single 4-block: answer by exact search over its 24
+        // vertices with the cluster removed.
+        use star_graph::smallgraph::SmallGraph;
+        use star_perm::{factorial, Perm};
+        let g = SmallGraph::from_star(4);
+        let mut blocked = vec![false; 24];
+        for v in cluster.vertices() {
+            blocked[v.rank() as usize] = true;
+        }
+        let (cycle, _) = g.longest_cycle(&blocked, u64::MAX);
+        if cycle.len() as u64 != factorial(4) - factorial(m) {
+            return Err(BaselineError::ConstructionFailed("n = 4 exact search"));
+        }
+        let vertices: Vec<Perm> = cycle
+            .into_iter()
+            .map(|id| Perm::unrank(4, id as u32).expect("rank < 24"))
+            .collect();
+        return Ok(LatifiRing {
+            ring: EmbeddedRing::new(4, vertices),
+            m,
+            discarded: cluster,
+        });
+    }
+
+    let vertices = if m <= 3 {
+        // C nests *strictly* inside a 4-block D; the block ring treats D
+        // as a hole. (m = 4 means C *is* a 4-block and is dropped whole,
+        // below.)
+        let seq = &pinned[..n - 4];
+        let empty = FaultSet::empty(n);
+        let mut ring = hierarchy::initial_ring(n, seq[0])?;
+        for &pos in &seq[1..] {
+            ring = hierarchy::refine(&ring, pos, &empty, false)?;
+        }
+        let blocks: Vec<Pattern> = ring.into_inner();
+        let d_index = blocks
+            .iter()
+            .position(|b| contains_pattern(b, &cluster))
+            .ok_or(BaselineError::ConstructionFailed("cluster block not found"))?;
+        let hole = Hole {
+            index: d_index,
+            excluded: cluster,
+        };
+        laceable::ring_through_blocks(&blocks, Some(&hole))?
+    } else {
+        // Stop the hierarchy at level m (>= 4), keep C interior to its
+        // parent's path, then drop it whole.
+        let empty = FaultSet::empty(n);
+        let mut ring: SuperRing = hierarchy::initial_ring(n, pinned[0])?;
+        for (idx, &pos) in pinned.iter().enumerate().skip(1) {
+            let keep = if idx == pinned.len() - 1 {
+                Some(&cluster)
+            } else {
+                None
+            };
+            ring = hierarchy::refine_opts(&ring, pos, &empty, false, keep)?;
+        }
+        let mut blocks: Vec<Pattern> = ring.into_inner();
+        let c_index = blocks
+            .iter()
+            .position(|b| *b == cluster)
+            .ok_or(BaselineError::ConstructionFailed("cluster not on ring"))?;
+        blocks.remove(c_index);
+        // The ring closes around the removal because C was kept interior
+        // (its former neighbors are siblings differing at the same
+        // position) — or because the top level is a clique when there was
+        // no refinement.
+        laceable::ring_through_blocks(&blocks, None)?
+    };
+    Ok(LatifiRing {
+        ring: EmbeddedRing::new(n, vertices),
+        m,
+        discarded: cluster,
+    })
+}
+
+/// `true` iff every vertex of `inner` is a vertex of `outer` (i.e. `inner`
+/// refines `outer`: `outer`'s pins are a subset of `inner`'s).
+fn contains_pattern(outer: &Pattern, inner: &Pattern) -> bool {
+    (0..outer.n()).all(|pos| match outer.fixed_symbol(pos) {
+        None => true,
+        Some(s) => inner.fixed_symbol(pos) == Some(s),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_fault::gen;
+    use star_perm::{factorial, Perm};
+
+    fn check(n: usize, res: &LatifiRing, faults: &FaultSet) {
+        assert_eq!(
+            res.ring.len() as u64,
+            factorial(n) - factorial(res.m),
+            "length must be n! - m!"
+        );
+        let vs = res.ring.vertices();
+        let mut seen: Vec<Perm> = vs.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), vs.len(), "simple ring");
+        for i in 0..vs.len() {
+            assert!(vs[i].is_adjacent(&vs[(i + 1) % vs.len()]));
+            assert!(faults.is_vertex_healthy(&vs[i]));
+            assert!(
+                !res.discarded.contains(&vs[i]),
+                "discarded sub-star skipped"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_small_m() {
+        // Faults inside an S_3 of S_6 -> m = 3, ring of 720 - 6.
+        for seed in 0..5 {
+            let faults = gen::clustered_in_substar(6, 3, 3, seed).unwrap();
+            let res = latifi_ring(6, &faults).unwrap();
+            assert_eq!(res.m, 3);
+            check(6, &res, &faults);
+        }
+    }
+
+    #[test]
+    fn single_fault_floors_to_m2() {
+        let faults = FaultSet::from_vertices(6, [Perm::from_digits(6, 312645)]).unwrap();
+        let res = latifi_ring(6, &faults).unwrap();
+        assert_eq!(res.m, 2);
+        assert_eq!(res.ring.len(), 718);
+        check(6, &res, &faults);
+    }
+
+    #[test]
+    fn large_m_interior_drop() {
+        // Faults spread over an S_5 inside S_6 -> m = 5: drop a whole
+        // 120-vertex sub-star.
+        let f1 = Perm::from_digits(6, 123456);
+        let f2 = Perm::from_digits(6, 234516); // agrees with f1 only at position 5
+        let faults = FaultSet::from_vertices(6, [f1, f2]).unwrap();
+        let res = latifi_ring(6, &faults).unwrap();
+        assert_eq!(res.m, 5);
+        assert_eq!(res.ring.len(), 600);
+        check(6, &res, &faults);
+    }
+
+    #[test]
+    fn n4_single_block_case() {
+        // Regression: n = 4 has no partition sequence; the exact-search
+        // special case must handle it without panicking.
+        let faults = FaultSet::from_vertices(4, [Perm::identity(4)]).unwrap();
+        let res = latifi_ring(4, &faults).unwrap();
+        assert_eq!(res.m, 2);
+        assert_eq!(res.ring.len(), 22);
+        check(4, &res, &faults);
+    }
+
+    #[test]
+    fn unclustered_faults_rejected() {
+        // Two faults that agree on no position >= 1.
+        let f1 = Perm::from_digits(5, 12345);
+        let f2 = Perm::from_digits(5, 23451);
+        let faults = FaultSet::from_vertices(5, [f1, f2]).unwrap();
+        assert_eq!(
+            latifi_ring(5, &faults).unwrap_err(),
+            BaselineError::NotClustered
+        );
+    }
+
+    #[test]
+    fn m4_cluster_in_s7() {
+        let faults = gen::clustered_in_substar(7, 4, 4, 2).unwrap();
+        let res = latifi_ring(7, &faults).unwrap();
+        assert!(res.m <= 4, "4 faults fit an S_4 (or tighter)");
+        check(7, &res, &faults);
+    }
+}

@@ -1,0 +1,30 @@
+//! # star-baselines
+//!
+//! The prior-art ring embeddings the paper compares against, plus the
+//! Hamiltonian-path machinery they share:
+//!
+//! - [`laceable`] — constructive **Hamiltonian laceability** of embedded
+//!   sub-stars: a Hamiltonian path between any two opposite-parity vertices
+//!   (recursive block construction, exact base cases), and a generic
+//!   block-ring walker.
+//! - [`hamiltonian`] — fault-free Hamiltonian cycles of `S_n`, via two
+//!   independent constructions (the paper pipeline and the laceable
+//!   walker), used to cross-validate each other.
+//! - [`tseng_vertex`] — the **Tseng–Chang–Sheu vertex-fault baseline**: the
+//!   `n! - 4|F_v|` bound the paper improves on, reproduced by the coarser
+//!   4-vertices-per-fault block traversal.
+//! - [`tseng_edge`] — their **edge-fault result**: a full `n!` ring when
+//!   `|F_e| <= n-3`.
+//! - [`latifi`] — the **Latifi–Bagherzadeh clustered baseline**: a ring of
+//!   length `n! - m!` that discards the smallest embedded `S_m` containing
+//!   every fault.
+
+mod error;
+
+pub mod hamiltonian;
+pub mod laceable;
+pub mod latifi;
+pub mod tseng_edge;
+pub mod tseng_vertex;
+
+pub use error::BaselineError;

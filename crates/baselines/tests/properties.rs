@@ -1,0 +1,94 @@
+//! Property tests for the baseline constructions.
+
+use proptest::prelude::*;
+use star_baselines::{laceable, latifi, tseng_vertex};
+use star_fault::FaultSet;
+use star_graph::Pattern;
+use star_perm::{factorial, Perm};
+
+/// An opposite-parity pair in S_n, n in 4..=6.
+fn arb_laceable_pair() -> impl Strategy<Value = (usize, Perm, Perm)> {
+    (4usize..=6).prop_flat_map(|n| {
+        let f = factorial(n) as u32;
+        (0..f, 0..f).prop_filter_map("need opposite parity", move |(a, b)| {
+            let u = Perm::unrank(n, a).unwrap();
+            let v = Perm::unrank(n, b).unwrap();
+            (u.parity() != v.parity()).then_some((n, u, v))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn laceability_holds_for_arbitrary_opposite_pairs((n, u, v) in arb_laceable_pair()) {
+        let path = laceable::hamiltonian_path(&Pattern::full(n), &u, &v)
+            .expect("S_n is Hamiltonian-laceable for n >= 4");
+        prop_assert_eq!(path.len() as u64, factorial(n));
+        prop_assert_eq!(path[0], u);
+        prop_assert_eq!(*path.last().unwrap(), v);
+        for w in path.windows(2) {
+            prop_assert!(w[0].is_adjacent(&w[1]));
+        }
+        let mut sorted: Vec<u32> = path.iter().map(Perm::rank).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len() as u64, factorial(n));
+    }
+
+    #[test]
+    fn tseng_baseline_always_pays_4_per_fault(
+        n in 6usize..=7,
+        ranks in proptest::collection::btree_set(0u32..720, 1..=3),
+    ) {
+        prop_assume!(ranks.len() <= n - 3);
+        let faults = FaultSet::from_vertices(
+            n,
+            ranks.iter().map(|&r| Perm::unrank(n, r).unwrap()),
+        )
+        .unwrap();
+        let ring = tseng_vertex::tseng_vertex_ring(n, &faults).unwrap();
+        prop_assert_eq!(
+            ring.len() as u64,
+            factorial(n) - 4 * faults.vertex_fault_count() as u64
+        );
+    }
+
+    #[test]
+    fn latifi_cluster_is_minimal_and_contains_all_faults(
+        ranks in proptest::collection::btree_set(0u32..720, 1..=3),
+    ) {
+        let n = 6;
+        let faults = FaultSet::from_vertices(
+            n,
+            ranks.iter().map(|&r| Perm::unrank(n, r).unwrap()),
+        )
+        .unwrap();
+        match latifi::minimal_cluster(n, &faults) {
+            Some(cluster) => {
+                for f in faults.vertices() {
+                    prop_assert!(cluster.contains(f));
+                }
+                // Minimality (up to the bipartite floor of 2): no position
+                // outside the cluster's pins agrees across all faults.
+                if cluster.r() > 2 {
+                    for pos in cluster.free_positions().filter(|&p| p != 0) {
+                        let s = faults.vertices()[0].get(pos);
+                        prop_assert!(
+                            !faults.vertices().iter().all(|f| f.get(pos) == s),
+                            "free position {} agrees across faults", pos
+                        );
+                    }
+                }
+            }
+            None => {
+                // Unclustered: no position >= 1 agrees across all faults.
+                for pos in 1..n {
+                    let s = faults.vertices()[0].get(pos);
+                    prop_assert!(!faults.vertices().iter().all(|f| f.get(pos) == s));
+                }
+            }
+        }
+    }
+}

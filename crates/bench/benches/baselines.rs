@@ -1,0 +1,45 @@
+//! Criterion benches comparing the three ring constructions on identical
+//! fault sets (cost, not quality — quality is E3).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use star_baselines::{hamiltonian, latifi, tseng_vertex};
+use star_fault::gen;
+use star_perm::factorial;
+
+fn bench_constructions(c: &mut Criterion) {
+    let n = 7usize;
+    let fv = n - 3;
+    let random_faults = gen::random_vertex_faults(n, fv, 5).unwrap();
+    let clustered_faults = gen::clustered_in_substar(n, fv, 4, 5).unwrap();
+
+    let mut group = c.benchmark_group("constructions/s7");
+    group.throughput(Throughput::Elements(factorial(n)));
+    group.bench_function("paper", |b| {
+        b.iter(|| star_ring::embed_longest_ring(black_box(n), black_box(&random_faults)).unwrap())
+    });
+    group.bench_function("tseng-vertex", |b| {
+        b.iter(|| tseng_vertex::tseng_vertex_ring(black_box(n), black_box(&random_faults)).unwrap())
+    });
+    group.bench_function("latifi-clustered", |b| {
+        b.iter(|| latifi::latifi_ring(black_box(n), black_box(&clustered_faults)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_hamiltonian_variants(c: &mut Criterion) {
+    let n = 6usize;
+    let mut group = c.benchmark_group("hamiltonian/s6");
+    group.throughput(Throughput::Elements(factorial(n)));
+    group.bench_function("paper-pipeline", |b| {
+        b.iter(|| hamiltonian::hamiltonian_cycle(black_box(n)).unwrap())
+    });
+    group.bench_function("laceable-walker", |b| {
+        b.iter(|| hamiltonian::hamiltonian_cycle_via_laceable(black_box(n)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions, bench_hamiltonian_variants);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for E4: embedding construction cost.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use star_fault::gen;
+use star_perm::{factorial, Parity};
+use star_ring::{embed_with_options, EmbedOptions};
+
+fn bench_embed_full_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed/full-fault-budget");
+    let opts = EmbedOptions {
+        verify: false,
+        ..Default::default()
+    };
+    for n in [5usize, 6, 7, 8] {
+        let fv = n - 3;
+        let faults = gen::worst_case_same_partite(n, fv, Parity::Even, 42).unwrap();
+        group.throughput(Throughput::Elements(factorial(n) - 2 * fv as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| embed_with_options(black_box(n), black_box(&faults), &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_embed_fault_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed/hamiltonian");
+    let opts = EmbedOptions {
+        verify: false,
+        ..Default::default()
+    };
+    for n in [5usize, 6, 7, 8] {
+        let faults = star_fault::FaultSet::empty(n);
+        group.throughput(Throughput::Elements(factorial(n)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| embed_with_options(black_box(n), black_box(&faults), &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed/with-verification");
+    let opts = EmbedOptions::default(); // verify on
+    let n = 7usize;
+    let faults = gen::random_vertex_faults(n, n - 3, 3).unwrap();
+    group.throughput(Throughput::Elements(factorial(n)));
+    group.bench_function("n=7", |b| {
+        b.iter(|| embed_with_options(black_box(n), black_box(&faults), &opts).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_local_repair(c: &mut Criterion) {
+    use star_ring::repair::MaintainedRing;
+    let n = 7usize;
+    let base = MaintainedRing::new(n, &star_fault::FaultSet::empty(n)).unwrap();
+    // A healthy interior vertex (segment midpoints are never seam vertices).
+    let victim = base.ring().vertices()[11];
+    c.bench_function("repair/local_s7", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut mr| mr.fail(black_box(victim)).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_embed_full_budget,
+    bench_embed_fault_free,
+    bench_verification_overhead,
+    bench_local_repair
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E3 — improvement over prior art: the same fault sets fed to the paper's
+//! construction (`n! - 2f`), the Tseng-style baseline (`n! - 4f`) and — on
+//! clustered fault sets — the Latifi–Bagherzadeh construction (`n! - m!`).
+
+use star_baselines::{latifi, tseng_vertex};
+use star_bench::{pct, Table};
+use star_fault::gen;
+use star_perm::factorial;
+use star_ring::embed_longest_ring;
+use star_sim::parallel::sweep;
+
+fn main() {
+    // (a) Random fault sets: ours vs Tseng.
+    let mut ta = Table::new(
+        "E3a: random faults — paper (n!-2f) vs Tseng baseline (n!-4f)",
+        &["n", "|Fv|", "paper", "tseng", "advantage", "paper retained"],
+    );
+    let mut configs = Vec::new();
+    for n in 6..=8usize {
+        for fv in 1..=(n - 3) {
+            configs.push((n, fv));
+        }
+    }
+    let rows = sweep(configs, |&(n, fv)| {
+        let faults = gen::random_vertex_faults(n, fv, 1000 + fv as u64).unwrap();
+        let ours = embed_longest_ring(n, &faults).unwrap().len() as u64;
+        let tseng = tseng_vertex::tseng_vertex_ring(n, &faults).unwrap().len() as u64;
+        (n, fv, ours, tseng)
+    });
+    for (n, fv, ours, tseng) in rows {
+        ta.row(&[
+            n.to_string(),
+            fv.to_string(),
+            ours.to_string(),
+            tseng.to_string(),
+            format!("+{}", ours - tseng),
+            pct(ours, factorial(n)),
+        ]);
+    }
+    ta.finish("e3a_vs_tseng");
+
+    // (b) Clustered fault sets: the three-way comparison, including the
+    // crossover where tight clustering favors Latifi (2f > m!).
+    let mut tb = Table::new(
+        "E3b: clustered faults — paper vs Tseng vs Latifi (n!-m!)",
+        &[
+            "n",
+            "|Fv|",
+            "cluster m",
+            "paper",
+            "tseng",
+            "latifi",
+            "winner",
+        ],
+    );
+    let mut configs = Vec::new();
+    for n in 6..=8usize {
+        for (fv, m) in [(2usize, 2usize), (3, 3), (4, 3), (5, 4)] {
+            if fv <= n - 3 {
+                configs.push((n, fv, m));
+            }
+        }
+    }
+    let rows = sweep(configs, |&(n, fv, m)| {
+        let faults = gen::clustered_in_substar(n, fv, m, 7).unwrap();
+        let ours = embed_longest_ring(n, &faults).unwrap().len() as u64;
+        let tseng = tseng_vertex::tseng_vertex_ring(n, &faults).unwrap().len() as u64;
+        let lat = latifi::latifi_ring(n, &faults).unwrap();
+        (n, fv, lat.m, ours, tseng, lat.ring.len() as u64)
+    });
+    for (n, fv, m, ours, tseng, lat) in rows {
+        let winner = if ours >= lat.max(tseng) {
+            if lat > ours {
+                "latifi"
+            } else {
+                "paper"
+            }
+        } else if lat >= tseng {
+            "latifi"
+        } else {
+            "tseng"
+        };
+        tb.row(&[
+            n.to_string(),
+            fv.to_string(),
+            m.to_string(),
+            ours.to_string(),
+            tseng.to_string(),
+            lat.to_string(),
+            winner.to_string(),
+        ]);
+    }
+    tb.finish("e3b_three_way");
+}

@@ -1,0 +1,88 @@
+//! E8 (extension) — operational resilience: processors fail one at a
+//! time, the ring is re-embedded after each failure. Traces the theorem's
+//! guarantee as a degradation timeline and measures repair pauses and
+//! migration cost (the data a runtime would use to size checkpointing).
+
+use star_bench::{pct, Table};
+use star_fault::gen;
+use star_perm::factorial;
+use star_sim::resilience::degrade;
+
+fn main() {
+    let mut table = Table::new(
+        "E8: incremental degradation — re-embed after every failure",
+        &[
+            "n",
+            "failure #",
+            "ring length",
+            "guarantee",
+            "repair (ms)",
+            "edges kept",
+            "retained",
+        ],
+    );
+    for n in [6usize, 7, 8] {
+        let budget = n - 3;
+        // A reproducible failure sequence (uniform random processors).
+        let failures: Vec<_> = gen::random_vertex_faults(n, budget, 77)
+            .unwrap()
+            .vertices()
+            .to_vec();
+        let timeline = degrade(n, &failures).expect("within budget");
+        for step in &timeline.steps {
+            let guarantee = factorial(n) - 2 * step.faults as u64;
+            assert_eq!(step.ring_len as u64, guarantee);
+            table.row(&[
+                n.to_string(),
+                step.faults.to_string(),
+                step.ring_len.to_string(),
+                guarantee.to_string(),
+                format!("{:.2}", step.reembed_time.as_secs_f64() * 1e3),
+                format!("{:.1}%", 100.0 * step.edge_survival),
+                pct(step.ring_len as u64, factorial(n)),
+            ]);
+        }
+    }
+    table.finish("e8_resilience");
+
+    // Incremental maintenance: local O(block) repairs, including beyond
+    // the n-3 budget when faults land in repairable blocks.
+    let mut t2 = Table::new(
+        "E8b: maintained ring — local repair latency vs global re-embed",
+        &[
+            "n",
+            "failure #",
+            "ring length",
+            "repair kind",
+            "repair (us)",
+            "within budget",
+        ],
+    );
+    for n in [7usize, 8] {
+        let budget = n - 3;
+        let extra = budget + 3; // push past the theorem's budget
+        let failures: Vec<_> = star_fault::gen::random_vertex_faults(n, extra, 101)
+            .unwrap()
+            .vertices()
+            .to_vec();
+        let steps = star_sim::resilience::degrade_maintained(n, &failures).unwrap();
+        for s in &steps {
+            t2.row(&[
+                n.to_string(),
+                s.faults.to_string(),
+                s.ring_len.to_string(),
+                if s.local { "local" } else { "global" }.to_string(),
+                format!("{:.0}", s.repair_time.as_secs_f64() * 1e6),
+                (s.faults <= budget).to_string(),
+            ]);
+        }
+    }
+    t2.finish("e8b_maintained");
+
+    println!(
+        "\nReading: each failure costs exactly 2 slots; with the maintained\n\
+         ring, interior faults are absorbed by microsecond block-local\n\
+         repairs (vs millisecond global re-embeds), and local repair keeps\n\
+         the 2-per-fault rate even beyond the theorem's n-3 budget."
+    );
+}

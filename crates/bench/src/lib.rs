@@ -1,0 +1,127 @@
+//! # star-bench
+//!
+//! The experiment harness: one binary per experiment in DESIGN.md's index
+//! (E1–E7, A1), each printing the table the paper's corresponding claim
+//! predicts and writing a CSV copy under `target/experiments/`.
+//!
+//! The paper is theory-only (no numbered tables/figures), so the
+//! "reproduction" is of its quantitative claims; EXPERIMENTS.md records
+//! claimed vs measured for every experiment.
+//!
+//! Criterion benches (`benches/`) cover construction cost (E4) and
+//! substrate micro-costs.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple aligned table that renders to the terminal and to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<D: Display>(&mut self, cells: &[D]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let render = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        render(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            render(row);
+        }
+    }
+
+    /// Writes the table as CSV under `target/experiments/<slug>.csv` and
+    /// returns the path.
+    pub fn write_csv(&self, slug: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from(
+            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+        )
+        .join("experiments");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{slug}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints and persists in one call; the usual exit path of an
+    /// experiment binary.
+    pub fn finish(&self, slug: &str) {
+        self.print();
+        match self.write_csv(slug) {
+            Ok(path) => println!("  [csv: {}]", path.display()),
+            Err(e) => eprintln!("  [csv write failed: {e}]"),
+        }
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(num: u64, den: u64) -> String {
+    format!("{:.2}%", 100.0 * num as f64 / den as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(&[1, 22]);
+        t.row(&[333, 4]);
+        let path = t.write_csv("unit-test-demo").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,bb\n1,22\n333,4\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[1]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(714, 720), "99.17%");
+    }
+}

@@ -1,0 +1,216 @@
+//! Public entry points: Theorem 1.
+
+use star_fault::FaultSet;
+use star_perm::factorial;
+
+use crate::{expand, hierarchy, positions, small_n, EmbedError, EmbeddedRing};
+
+/// Options controlling the embedder.
+#[derive(Debug, Clone)]
+pub struct EmbedOptions {
+    /// Re-verify the output ring (adjacency, distinctness, health, length)
+    /// before returning. O(ring length); on by default.
+    pub verify: bool,
+    /// Seam-choice salt (see [`expand::expand_with_salt`]); 0 is the
+    /// canonical choice. Used by the mixed embedder's retry loop.
+    pub salt: usize,
+    /// Index (0..3) into the spare-position list used for the Lemma-7
+    /// partition.
+    pub spare_index: usize,
+}
+
+impl Default for EmbedOptions {
+    fn default() -> Self {
+        EmbedOptions {
+            verify: true,
+            salt: 0,
+            spare_index: 0,
+        }
+    }
+}
+
+/// **Theorem 1.** Embeds a healthy ring of length `n! - 2|F_v|` into `S_n`
+/// with `|F_v| <= n-3` vertex faults (`3 <= n <= 12`).
+///
+/// The result is worst-case optimal: when all faults share a partite set no
+/// healthy cycle can be longer (the star graph is bipartite with equal
+/// sides). Errors are returned for out-of-budget fault sets, dimension
+/// mismatches, and edge faults (see [`crate::mixed`] for those).
+///
+/// # Examples
+///
+/// ```
+/// use star_fault::FaultSet;
+/// use star_perm::Perm;
+/// use star_ring::embed_longest_ring;
+///
+/// let faults = FaultSet::from_vertices(5, [Perm::from_digits(5, 21345)]).unwrap();
+/// let ring = embed_longest_ring(5, &faults).unwrap();
+/// assert_eq!(ring.len(), 120 - 2);
+/// assert!(ring.edges().all(|(a, b)| a.is_adjacent(b)));
+/// ```
+pub fn embed_longest_ring(n: usize, faults: &FaultSet) -> Result<EmbeddedRing, EmbedError> {
+    embed_with_options(n, faults, &EmbedOptions::default())
+}
+
+/// Convenience: the fault-free Hamiltonian cycle of `S_n` (length `n!`).
+pub fn embed_hamiltonian_cycle(n: usize) -> Result<EmbeddedRing, EmbedError> {
+    embed_longest_ring(n, &FaultSet::empty(n))
+}
+
+/// [`embed_longest_ring`] with explicit [`EmbedOptions`].
+pub fn embed_with_options(
+    n: usize,
+    faults: &FaultSet,
+    opts: &EmbedOptions,
+) -> Result<EmbeddedRing, EmbedError> {
+    if !(3..=star_perm::MAX_N).contains(&n) {
+        return Err(EmbedError::UnsupportedDimension { n });
+    }
+    if faults.n() != n {
+        return Err(EmbedError::DimensionMismatch);
+    }
+    if faults.edge_fault_count() > 0 {
+        return Err(EmbedError::EdgeFaultsUnsupported);
+    }
+    let budget = n.saturating_sub(3);
+    if faults.vertex_fault_count() > budget {
+        return Err(EmbedError::TooManyFaults {
+            supplied: faults.vertex_fault_count(),
+            budget,
+        });
+    }
+
+    let vertices = match n {
+        3 => small_n::embed_n3(faults)?,
+        4 => small_n::embed_n4(faults)?,
+        5 => small_n::embed_n5_with(faults, opts.spare_index, opts.salt)?,
+        _ => {
+            let plan = positions::select_positions(n, faults)?;
+            let r4 = hierarchy::build_r4(n, faults, &plan)?;
+            let spare = plan.spare[opts.spare_index % plan.spare.len()];
+            expand::expand_with_salt(&r4, faults, spare, opts.salt)?
+        }
+    };
+
+    let ring = EmbeddedRing::new(n, vertices);
+    let expected = factorial(n) - 2 * faults.vertex_fault_count() as u64;
+    debug_assert_eq!(ring.len() as u64, expected);
+    if opts.verify {
+        verify_ring(&ring, faults)?;
+        if ring.len() as u64 != expected {
+            return Err(EmbedError::ExpansionFailed { block: 0 });
+        }
+    }
+    Ok(ring)
+}
+
+/// Internal verification: simple + healthy + cyclically adjacent. (The
+/// standalone `star-verify` crate provides the same check for external
+/// artifacts; this copy keeps the core crate dependency-light.)
+pub(crate) fn verify_ring(ring: &EmbeddedRing, faults: &FaultSet) -> Result<(), EmbedError> {
+    let vs = ring.vertices();
+    let len = vs.len();
+    let mut seen = vec![false; factorial(ring.n()) as usize];
+    for (i, v) in vs.iter().enumerate() {
+        if v.n() != ring.n()
+            || faults.is_vertex_faulty(v)
+            || std::mem::replace(&mut seen[v.rank() as usize], true)
+        {
+            return Err(EmbedError::ExpansionFailed { block: i });
+        }
+        let next = &vs[(i + 1) % len];
+        if !v.is_adjacent(next) || faults.is_edge_faulty(v, next) {
+            return Err(EmbedError::ExpansionFailed { block: i });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_fault::gen;
+    use star_perm::{Parity, Perm};
+
+    #[test]
+    fn theorem_1_random_faults_n6_n7() {
+        for n in [6usize, 7] {
+            for fv in 0..=(n - 3) {
+                for seed in 0..5 {
+                    let faults = gen::random_vertex_faults(n, fv, seed).unwrap();
+                    let ring = embed_longest_ring(n, &faults).unwrap();
+                    assert_eq!(
+                        ring.len() as u64,
+                        factorial(n) - 2 * fv as u64,
+                        "n={n} fv={fv} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_1_worst_case_faults() {
+        for n in [5usize, 6, 7] {
+            let faults = gen::worst_case_same_partite(n, n - 3, Parity::Odd, 17).unwrap();
+            let ring = embed_longest_ring(n, &faults).unwrap();
+            assert_eq!(ring.len() as u64, factorial(n) - 2 * (n as u64 - 3));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            embed_longest_ring(2, &FaultSet::empty(2)),
+            Err(EmbedError::UnsupportedDimension { .. })
+        ));
+        assert!(matches!(
+            embed_longest_ring(6, &FaultSet::empty(5)),
+            Err(EmbedError::DimensionMismatch)
+        ));
+        let too_many = gen::random_vertex_faults(5, 3, 0).unwrap();
+        assert!(matches!(
+            embed_longest_ring(5, &too_many),
+            Err(EmbedError::TooManyFaults { .. })
+        ));
+        let edges = gen::random_edge_faults(5, 1, 0).unwrap();
+        assert!(matches!(
+            embed_longest_ring(5, &edges),
+            Err(EmbedError::EdgeFaultsUnsupported)
+        ));
+    }
+
+    #[test]
+    fn hamiltonian_cycles_small() {
+        for n in 3..=7 {
+            let ring = embed_hamiltonian_cycle(n).unwrap();
+            assert_eq!(ring.len() as u64, factorial(n));
+        }
+    }
+
+    #[test]
+    fn adversarial_neighborhood_full_budget() {
+        for n in [6usize, 7] {
+            let faults = gen::adversarial_neighborhood(n, n - 3).unwrap();
+            let ring = embed_longest_ring(n, &faults).unwrap();
+            assert_eq!(ring.len() as u64, factorial(n) - 2 * (n as u64 - 3));
+            // The stranded-victim neighborhood: the victim itself is healthy
+            // and must be on the ring.
+            assert!(ring.vertices().contains(&Perm::identity(n)));
+        }
+    }
+
+    #[test]
+    fn all_spare_positions_work() {
+        let faults = gen::random_vertex_faults(6, 3, 5).unwrap();
+        for spare_index in 0..3 {
+            let opts = EmbedOptions {
+                spare_index,
+                ..Default::default()
+            };
+            let ring = embed_with_options(6, &faults, &opts).unwrap();
+            assert_eq!(ring.len(), 714);
+        }
+    }
+}

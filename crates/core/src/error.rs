@@ -1,0 +1,76 @@
+//! Error type for the embedding pipeline.
+
+use core::fmt;
+
+/// Errors raised by the ring-embedding pipeline.
+///
+/// Under the paper's preconditions (`n >= 3`, `|F_v| <= n-3`) the
+/// construction is total, so the `*Failed` variants indicate a bug (and are
+/// what the verification layers would catch); they are still surfaced as
+/// errors rather than panics so harnesses can report them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedError {
+    /// Dimension outside the supported range.
+    UnsupportedDimension {
+        /// The requested dimension.
+        n: usize,
+    },
+    /// The fault budget `|F_v| + |F_e| <= n-3` is exceeded; the guarantee
+    /// does not apply.
+    TooManyFaults {
+        /// Faults supplied.
+        supplied: usize,
+        /// The budget `n - 3`.
+        budget: usize,
+    },
+    /// The fault set was built for a different dimension.
+    DimensionMismatch,
+    /// Lemma-2 position selection failed (should not happen within budget).
+    PositionSelectionFailed,
+    /// Super-ring refinement failed (should not happen within budget).
+    RefinementFailed {
+        /// The level being refined (order of the super-vertices).
+        level: usize,
+    },
+    /// Block-level assembly failed (should not happen within budget).
+    ExpansionFailed {
+        /// Ring index of the offending block.
+        block: usize,
+    },
+    /// This entry point does not support edge faults.
+    EdgeFaultsUnsupported,
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::UnsupportedDimension { n } => {
+                write!(
+                    f,
+                    "star graph dimension {n} not supported for ring embedding"
+                )
+            }
+            EmbedError::TooManyFaults { supplied, budget } => {
+                write!(f, "{supplied} faults exceed the n-3 budget of {budget}")
+            }
+            EmbedError::DimensionMismatch => write!(f, "fault set dimension mismatch"),
+            EmbedError::PositionSelectionFailed => {
+                write!(f, "could not select Lemma-2 partition positions")
+            }
+            EmbedError::RefinementFailed { level } => {
+                write!(f, "super-ring refinement failed at level {level}")
+            }
+            EmbedError::ExpansionFailed { block } => {
+                write!(f, "vertex-level expansion failed at block {block}")
+            }
+            EmbedError::EdgeFaultsUnsupported => {
+                write!(
+                    f,
+                    "this entry point does not support edge faults; use `mixed`"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}

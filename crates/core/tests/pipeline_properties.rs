@@ -1,0 +1,86 @@
+//! Property tests on the embedding pipeline's internal stages: random
+//! fault sets must always yield position plans, (P1)(P2)(P3)-satisfying
+//! super-rings, and optimal maintained rings under random failure
+//! sequences.
+
+use proptest::prelude::*;
+use star_fault::FaultSet;
+use star_perm::{factorial, Perm};
+use star_ring::repair::{MaintainedRing, RepairOutcome};
+use star_ring::{hierarchy, positions};
+
+/// (n, fault set) with |F_v| <= n-3, built from explicit ranks so proptest
+/// shrinks nicely.
+fn arb_faults(lo: usize, hi: usize) -> impl Strategy<Value = (usize, FaultSet)> {
+    (lo..=hi).prop_flat_map(|n| {
+        proptest::collection::btree_set(0..factorial(n) as u32, 0..=(n - 3)).prop_map(
+            move |ranks| {
+                let faults =
+                    FaultSet::from_vertices(n, ranks.iter().map(|&r| Perm::unrank(n, r).unwrap()))
+                        .unwrap();
+                (n, faults)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn position_plans_always_separate((n, faults) in arb_faults(6, 8)) {
+        let plan = positions::select_positions(n, &faults).expect("Lemma 2");
+        // Ordered, distinct, in range.
+        let mut seen = std::collections::HashSet::new();
+        for &p in &plan.sequence {
+            prop_assert!((1..n).contains(&p));
+            prop_assert!(seen.insert(p));
+        }
+        prop_assert_eq!(plan.sequence.len(), n - 4);
+        // Full separation at the end, at most one pair before the last.
+        prop_assert_eq!(plan.unseparated_pairs_after(n - 4, &faults), 0);
+        prop_assert!(plan.unseparated_pairs_after(n - 5, &faults) <= 1);
+    }
+
+    #[test]
+    fn r4_satisfies_all_three_properties((n, faults) in arb_faults(6, 7)) {
+        let plan = positions::select_positions(n, &faults).unwrap();
+        let r4 = hierarchy::build_r4(n, &faults, &plan).expect("Lemma 3");
+        prop_assert!(r4.covers_partition());
+        prop_assert!(r4.satisfies_p2());
+        let len = r4.len();
+        let counts: Vec<usize> = r4.iter().map(|p| faults.count_vertex_faults_in(p)).collect();
+        prop_assert!(counts.iter().all(|&c| c <= 1), "(P1)");
+        for i in 0..len {
+            prop_assert!(
+                !(counts[i] > 0 && counts[(i + 1) % len] > 0),
+                "(P3) at {}", i
+            );
+        }
+    }
+
+    #[test]
+    fn maintained_ring_stays_optimal_under_random_failures(
+        seed_ranks in proptest::collection::btree_set(0u32..720, 1..=3)
+    ) {
+        let n = 6;
+        let mut mr = MaintainedRing::new(n, &FaultSet::empty(n)).unwrap();
+        for &r in &seed_ranks {
+            let v = Perm::unrank(n, r).unwrap();
+            match mr.fail(v) {
+                Ok(RepairOutcome::Local { .. }) | Ok(RepairOutcome::Global) => {
+                    prop_assert!(mr.at_optimum());
+                    // Spot-validate the ring shape.
+                    let ring = mr.ring();
+                    let vs = ring.vertices();
+                    prop_assert!(vs.iter().all(|x| mr.faults().is_vertex_healthy(x)));
+                    for i in 0..vs.len() {
+                        prop_assert!(vs[i].is_adjacent(&vs[(i + 1) % vs.len()]));
+                    }
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("repair failed: {e}"))),
+            }
+        }
+        prop_assert_eq!(mr.faults().vertex_fault_count(), seed_ranks.len());
+    }
+}

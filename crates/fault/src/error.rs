@@ -1,0 +1,50 @@
+//! Error type for fault-set construction.
+
+use core::fmt;
+
+/// Errors raised when building fault sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A fault vertex/edge endpoint has the wrong permutation size.
+    DimensionMismatch {
+        /// Expected star-graph dimension.
+        expected: usize,
+        /// Size found.
+        found: usize,
+    },
+    /// The same vertex or edge was inserted twice.
+    DuplicateFault,
+    /// A generator was asked for more faults than the regime supports
+    /// (e.g. more same-partite-set faults than the partite set holds).
+    TooManyFaults {
+        /// Requested count.
+        requested: usize,
+        /// Maximum available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "fault dimension mismatch: expected {expected}, found {found}"
+                )
+            }
+            FaultError::DuplicateFault => write!(f, "duplicate fault"),
+            FaultError::TooManyFaults {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} faults but only {available} available"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}

@@ -1,0 +1,27 @@
+//! # star-fault
+//!
+//! Fault models for star-graph multiprocessors.
+//!
+//! The paper studies `S_n` with a set `F_v` of *vertex faults* (dead
+//! processors) and, in the prior work it improves on, a set `F_e` of *edge
+//! faults* (dead links). This crate provides:
+//!
+//! - [`FaultSet`] — a combined vertex/edge fault set over `S_n`, with O(1)
+//!   health queries by Lehmer rank.
+//! - [`gen`] — reproducible fault-set generators covering the regimes the
+//!   experiments need: uniform random, **worst-case** (all faults in one
+//!   partite set, the configuration that makes `n! - 2|F_v|` tight),
+//!   clustered inside a minimal sub-star (the Latifi–Bagherzadeh regime),
+//!   adversarial same-neighborhood placements, and random/same-dimension
+//!   edge faults.
+//! - [`schedule`] — *ordered* failure timelines (random, partite attack,
+//!   neighborhood attack, spreading damage) for degradation studies.
+
+mod error;
+mod set;
+
+pub mod gen;
+pub mod schedule;
+
+pub use error::FaultError;
+pub use set::FaultSet;

@@ -1,0 +1,175 @@
+//! Cayley symmetries of the star graph.
+//!
+//! `S_n` is the Cayley graph of the symmetric group under the generators
+//! `(0 d)` applied on the right, so **left translation** by any fixed
+//! permutation `g` — `v -> g ∘ v` — is a graph automorphism. Left
+//! translations act simply transitively on vertices, which is the formal
+//! content of "the star graph looks the same from every vertex".
+//!
+//! Additionally, relabeling the *positions* `1..n-1` (any permutation of
+//! the non-pivot positions, acting by conjugation) permutes the edge
+//! dimensions, giving edge-transitivity.
+//!
+//! The embedder quietly relies on both facts: the Lemma-4 oracle
+//! canonicalizes arbitrary blocks to one `S_4` (vertex symmetry +
+//! dimension relabeling), and test sweeps check one base point and let
+//! transitivity cover the rest. This module makes the symmetries
+//! first-class and testable.
+
+use star_perm::{Perm, MAX_N};
+
+/// An automorphism of `S_n` of the form `v -> g ∘ relabel_positions(v)`.
+///
+/// `g` is the left-translation part; `positions` is a permutation of
+/// `0..n` fixing 0 that relabels the non-pivot positions (dimension
+/// relabeling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Automorphism {
+    g: Perm,
+    /// positions[i] = where old position i goes; positions[0] == 0.
+    positions: [u8; MAX_N],
+    n: u8,
+}
+
+impl Automorphism {
+    /// The identity automorphism.
+    pub fn identity(n: usize) -> Self {
+        let mut positions = [0u8; MAX_N];
+        for (i, slot) in positions.iter_mut().enumerate().take(n) {
+            *slot = i as u8;
+        }
+        Automorphism {
+            g: Perm::identity(n),
+            positions,
+            n: n as u8,
+        }
+    }
+
+    /// Pure left translation by `g`.
+    pub fn translation(g: Perm) -> Self {
+        let mut auto = Automorphism::identity(g.n());
+        auto.g = g;
+        auto
+    }
+
+    /// Pure dimension relabeling: `sigma` is a permutation of `1..=n-1`
+    /// describing where each non-pivot position goes (`sigma[d-1]` is the
+    /// new index of old position `d`).
+    ///
+    /// # Panics
+    /// Panics if `sigma` is not a permutation of `1..=n-1`.
+    pub fn dimension_relabel(n: usize, sigma: &[usize]) -> Self {
+        assert_eq!(sigma.len(), n - 1, "sigma permutes the n-1 dimensions");
+        let mut seen = [false; MAX_N];
+        let mut auto = Automorphism::identity(n);
+        for (d, &target) in sigma.iter().enumerate() {
+            assert!((1..n).contains(&target), "targets are positions 1..n");
+            assert!(!seen[target], "sigma must be a permutation");
+            seen[target] = true;
+            auto.positions[d + 1] = target as u8;
+        }
+        auto
+    }
+
+    /// The automorphism mapping vertex `a` to vertex `b` by left
+    /// translation: `g = b ∘ a^{-1}` (vertex-transitivity witness).
+    pub fn mapping(a: &Perm, b: &Perm) -> Self {
+        assert_eq!(a.n(), b.n());
+        Automorphism::translation(b.compose(&a.inverse()))
+    }
+
+    /// Applies the automorphism to a vertex.
+    pub fn apply(&self, v: &Perm) -> Perm {
+        let n = self.n as usize;
+        debug_assert_eq!(v.n(), n);
+        // Position relabeling first (v' [sigma(i)] = v[i]), then left
+        // translation.
+        let mut buf = [0u8; MAX_N];
+        for i in 0..n {
+            buf[self.positions[i] as usize] = v.get(i);
+        }
+        let relabeled = Perm::from_slice(&buf[..n]).expect("relabeling preserves permutations");
+        self.g.compose(&relabeled)
+    }
+
+    /// The composite automorphism `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Automorphism) -> Automorphism {
+        assert_eq!(self.n, other.n);
+        let n = self.n as usize;
+        let mut positions = [0u8; MAX_N];
+        for (slot, &op) in positions.iter_mut().zip(&other.positions[..n]) {
+            *slot = self.positions[op as usize];
+        }
+        // Translation part: self.g ∘ relabel_self(other.g). Verified
+        // against pointwise application in the tests.
+        let mut buf = [0u8; MAX_N];
+        for i in 0..n {
+            buf[self.positions[i] as usize] = other.g.get(i);
+        }
+        let relabeled = Perm::from_slice(&buf[..n]).expect("relabeling preserves permutations");
+        Automorphism {
+            g: self.g.compose(&relabeled),
+            positions,
+            n: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StarGraph;
+
+    fn preserves_adjacency(auto: &Automorphism, n: usize) -> bool {
+        let g = StarGraph::new(n).unwrap();
+        g.vertices().all(|u| {
+            let au = auto.apply(&u);
+            g.neighbors(&u).all(|v| au.is_adjacent(&auto.apply(&v)))
+        })
+    }
+
+    #[test]
+    fn translations_are_automorphisms() {
+        let g = Perm::from_digits(4, 3142);
+        let auto = Automorphism::translation(g);
+        assert!(preserves_adjacency(&auto, 4));
+    }
+
+    #[test]
+    fn dimension_relabelings_are_automorphisms() {
+        // Swap dimensions 1 and 3 in S_4.
+        let auto = Automorphism::dimension_relabel(4, &[3, 2, 1]);
+        assert!(preserves_adjacency(&auto, 4));
+        // The image of a dimension-1 edge is a dimension-3 edge.
+        let u = Perm::identity(4);
+        let v = u.star_move(1);
+        let (au, av) = (auto.apply(&u), auto.apply(&v));
+        assert_eq!(au.edge_dimension_to(&av), Some(3));
+    }
+
+    #[test]
+    fn vertex_transitivity_witness() {
+        let a = Perm::from_digits(5, 35214);
+        let b = Perm::from_digits(5, 51423);
+        let auto = Automorphism::mapping(&a, &b);
+        assert_eq!(auto.apply(&a), b);
+        assert!(preserves_adjacency(&auto, 5));
+    }
+
+    #[test]
+    fn composition_matches_pointwise_application() {
+        let t = Automorphism::translation(Perm::from_digits(4, 2413));
+        let r = Automorphism::dimension_relabel(4, &[2, 3, 1]);
+        let comp = t.compose(&r);
+        for u in StarGraph::new(4).unwrap().vertices() {
+            assert_eq!(comp.apply(&u), t.apply(&r.apply(&u)));
+        }
+    }
+
+    #[test]
+    fn identity_fixes_everything() {
+        let auto = Automorphism::identity(5);
+        let v = Perm::from_digits(5, 42531);
+        assert_eq!(auto.apply(&v), v);
+    }
+}

@@ -1,0 +1,60 @@
+//! The bipartition of `S_n`.
+//!
+//! Every star move is a transposition, so adjacency flips permutation
+//! parity: `S_n` is bipartite with partite sets the even and odd
+//! permutations, each of size `n!/2` (for `n >= 2`). This is the heart of
+//! the paper's optimality argument: if all `|F_v|` faults lie in one partite
+//! set, a cycle alternates sides, so it can use at most `n!/2 - |F_v|`
+//! vertices from the damaged side and therefore at most `n! - 2|F_v|`
+//! vertices in total.
+
+use star_perm::{factorial, Parity, Perm};
+
+/// The partite set of a vertex: [`Parity::Even`] or [`Parity::Odd`].
+#[inline]
+pub fn partite_set(v: &Perm) -> Parity {
+    v.parity()
+}
+
+/// Sizes of the two partite sets of `S_n`, `(even, odd)`.
+pub fn partite_set_sizes(n: usize) -> (u64, u64) {
+    if n == 1 {
+        (1, 0)
+    } else {
+        let half = factorial(n) / 2;
+        (half, half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StarGraph;
+
+    #[test]
+    fn adjacency_flips_parity_exhaustive_s4() {
+        let g = StarGraph::new(4).unwrap();
+        for u in g.vertices() {
+            for v in g.neighbors(&u) {
+                assert_ne!(partite_set(&u), partite_set(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn partite_sets_have_equal_size() {
+        for n in 2..=8 {
+            let (e, o) = partite_set_sizes(n);
+            assert_eq!(e, o);
+            assert_eq!(e + o, factorial(n));
+        }
+        assert_eq!(partite_set_sizes(1), (1, 0));
+    }
+
+    #[test]
+    fn counted_sizes_match_s5() {
+        let g = StarGraph::new(5).unwrap();
+        let even = g.vertices().filter(|v| partite_set(v).is_even()).count();
+        assert_eq!(even as u64, partite_set_sizes(5).0);
+    }
+}

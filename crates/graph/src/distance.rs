@@ -1,0 +1,67 @@
+//! Exact star-graph distance.
+
+use star_perm::{cycles::CycleStructure, Perm};
+
+/// The exact distance between two vertices of `S_n`.
+///
+/// `S_n` is the Cayley graph of the symmetric group under the transpositions
+/// `(0 d)` applied on the right, so distance is left-invariant:
+/// `d(u, v) = d(id, u^{-1} ∘ v)`, and the distance to the identity has the
+/// Akers–Krishnamurthy closed form over the cycle structure (see
+/// [`star_perm::cycles`]).
+///
+/// # Panics
+/// Panics if the permutations have different sizes.
+pub fn distance(u: &Perm, v: &Perm) -> usize {
+    assert_eq!(u.n(), v.n(), "distance between different-size permutations");
+    let w = u.inverse().compose(v);
+    CycleStructure::of(&w).star_distance_to_identity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    #[test]
+    fn distance_zero_and_one() {
+        let u = Perm::from_digits(5, 31254);
+        assert_eq!(distance(&u, &u), 0);
+        for v in u.neighbors() {
+            assert_eq!(distance(&u, &v), 1);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let u = Perm::from_digits(6, 123456);
+        let v = Perm::from_digits(6, 654321);
+        assert_eq!(distance(&u, &v), distance(&v, &u));
+    }
+
+    #[test]
+    fn matches_bfs_on_s5() {
+        // Cross-validate the closed form against brute-force BFS from a
+        // non-identity source (exercises left-invariance too).
+        let src = Perm::from_digits(5, 24135);
+        let dist = bfs::distances_from(5, &src);
+        for rank in 0..120u32 {
+            let v = Perm::unrank(5, rank).unwrap();
+            assert_eq!(
+                distance(&src, &v) as u32,
+                dist[rank as usize],
+                "distance({src}, {v})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_bfs_on_s6_identity() {
+        let src = Perm::identity(6);
+        let dist = bfs::distances_from(6, &src);
+        for rank in (0..720u32).step_by(7) {
+            let v = Perm::unrank(6, rank).unwrap();
+            assert_eq!(distance(&src, &v) as u32, dist[rank as usize]);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Normalized undirected edges of `S_n`.
+
+use core::fmt;
+
+use star_perm::Perm;
+
+use crate::GraphError;
+
+/// An undirected edge of `S_n`, stored with endpoints in canonical (rank)
+/// order so `Edge` can be used directly in hash sets for edge-fault models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    lo: Perm,
+    hi: Perm,
+}
+
+impl Edge {
+    /// Creates the edge `{u, v}`, verifying adjacency.
+    pub fn new(u: Perm, v: Perm) -> Result<Self, GraphError> {
+        if !u.is_adjacent(&v) {
+            return Err(GraphError::NotAdjacent { u, v });
+        }
+        Ok(if u <= v {
+            Edge { lo: u, hi: v }
+        } else {
+            Edge { lo: v, hi: u }
+        })
+    }
+
+    /// The canonical lower endpoint.
+    #[inline]
+    pub fn lo(&self) -> &Perm {
+        &self.lo
+    }
+
+    /// The canonical upper endpoint.
+    #[inline]
+    pub fn hi(&self) -> &Perm {
+        &self.hi
+    }
+
+    /// Both endpoints.
+    #[inline]
+    pub fn endpoints(&self) -> (Perm, Perm) {
+        (self.lo, self.hi)
+    }
+
+    /// The dimension of the edge: the position `d` with `v = u.star_move(d)`.
+    #[inline]
+    pub fn dimension(&self) -> usize {
+        self.lo
+            .edge_dimension_to(&self.hi)
+            .expect("Edge invariant: endpoints are adjacent")
+    }
+
+    /// `true` iff `v` is one of the two endpoints.
+    #[inline]
+    pub fn touches(&self, v: &Perm) -> bool {
+        self.lo == *v || self.hi == *v
+    }
+
+    /// Given one endpoint, returns the other; `None` if `v` is not an
+    /// endpoint.
+    pub fn other(&self, v: &Perm) -> Option<Perm> {
+        if *v == self.lo {
+            Some(self.hi)
+        } else if *v == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -- {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_endpoint_order() {
+        let u = Perm::from_digits(4, 1234);
+        let v = u.star_move(2);
+        let e1 = Edge::new(u, v).unwrap();
+        let e2 = Edge::new(v, u).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(e1.dimension(), 2);
+    }
+
+    #[test]
+    fn rejects_non_adjacent() {
+        let u = Perm::from_digits(4, 1234);
+        let w = Perm::from_digits(4, 2314);
+        assert!(Edge::new(u, w).is_err());
+        assert!(Edge::new(u, u).is_err());
+    }
+
+    #[test]
+    fn endpoint_queries() {
+        let u = Perm::from_digits(5, 21345);
+        let v = u.star_move(4);
+        let e = Edge::new(u, v).unwrap();
+        assert!(e.touches(&u));
+        assert!(e.touches(&v));
+        assert_eq!(e.other(&u), Some(v));
+        assert_eq!(e.other(&v), Some(u));
+        assert_eq!(e.other(&Perm::identity(5)), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for star-graph structures.
+
+use core::fmt;
+
+use star_perm::Perm;
+
+/// Errors raised by star-graph construction and decomposition operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The dimension `n` is outside the supported range.
+    DimensionOutOfRange {
+        /// The requested dimension.
+        n: usize,
+    },
+    /// Two vertices were expected to be adjacent but are not.
+    NotAdjacent {
+        /// First endpoint.
+        u: Perm,
+        /// Second endpoint.
+        v: Perm,
+    },
+    /// A vertex does not belong to the graph/pattern it was used with.
+    VertexNotInGraph {
+        /// The offending vertex.
+        v: Perm,
+    },
+    /// A pattern construction was invalid (duplicate fixed symbols, fixed
+    /// position 0, symbol out of range, ...).
+    InvalidPattern(String),
+    /// A partition was requested at a non-free position or with an invalid
+    /// position index.
+    InvalidPartitionPosition {
+        /// The offending position.
+        pos: usize,
+    },
+    /// A super-ring failed a structural requirement.
+    InvalidSuperRing(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DimensionOutOfRange { n } => {
+                write!(f, "star graph dimension {n} out of supported range")
+            }
+            GraphError::NotAdjacent { u, v } => {
+                write!(f, "vertices {u} and {v} are not adjacent in the star graph")
+            }
+            GraphError::VertexNotInGraph { v } => {
+                write!(f, "vertex {v} does not belong to the graph or pattern")
+            }
+            GraphError::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
+            GraphError::InvalidPartitionPosition { pos } => {
+                write!(f, "cannot partition at position {pos}")
+            }
+            GraphError::InvalidSuperRing(msg) => write!(f, "invalid super-ring: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

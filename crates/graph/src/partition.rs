@@ -1,0 +1,106 @@
+//! The `i`-partition and `(i_1,...,i_m)`-partition of embedded sub-stars
+//! (Definitions 2 and 3 of the paper).
+
+use star_perm::Perm;
+
+use crate::{GraphError, Pattern};
+
+/// Executes an `i`-partition on `pattern` at don't-care position `pos`
+/// (`pos != 0`): the embedded `S_r` splits into `r` embedded `S_{r-1}`'s,
+/// one per free symbol, returned in increasing symbol order.
+pub fn i_partition(pattern: &Pattern, pos: usize) -> Result<Vec<Pattern>, GraphError> {
+    if pos == 0 || pos >= pattern.n() || !pattern.is_free_position(pos) {
+        return Err(GraphError::InvalidPartitionPosition { pos });
+    }
+    pattern
+        .free_symbols()
+        .iter()
+        .map(|s| pattern.sub(pos, s))
+        .collect()
+}
+
+/// Executes an `(i_1,...,i_m)`-partition: applies each `i_k`-partition in
+/// sequence to every pattern produced so far, yielding the
+/// `r(r-1)...(r-m+1)` leaf patterns.
+pub fn partition_sequence(
+    start: &Pattern,
+    positions: &[usize],
+) -> Result<Vec<Pattern>, GraphError> {
+    let mut current = vec![*start];
+    for &pos in positions {
+        let mut next = Vec::with_capacity(current.len() * start.r());
+        for p in &current {
+            next.extend(i_partition(p, pos)?);
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// The leaf pattern containing `v` after pinning the given positions to
+/// `v`'s symbols there — i.e. which block of the `(i_1,...,i_m)`-partition
+/// the vertex falls into. O(m), no enumeration.
+pub fn locate(v: &Perm, positions: &[usize]) -> Result<Pattern, GraphError> {
+    let mut p = Pattern::full(v.n());
+    for &pos in positions {
+        p = p.sub(pos, v.get(pos))?;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_3_partition() {
+        // Executing a 3-partition (our position 2) on <**15*... the paper's
+        // < * * 1 5 >_3-ish example: partition <**15>_2? Use S_5's
+        // <*_*_*15>... Simplest faithful check: partition <* * * 1 5>_3 at
+        // position 2 gives three S_2 patterns with symbols {2,3,4} there.
+        let p = Pattern::from_spec(&[0, 0, 0, 1, 5]).unwrap();
+        let parts = i_partition(&p, 2).unwrap();
+        assert_eq!(parts.len(), 3);
+        let syms: Vec<u8> = parts.iter().map(|q| q.fixed_symbol(2).unwrap()).collect();
+        assert_eq!(syms, vec![2, 3, 4]);
+        for q in &parts {
+            assert_eq!(q.r(), 2);
+        }
+    }
+
+    #[test]
+    fn partition_rejects_pinned_or_zero_positions() {
+        let p = Pattern::from_spec(&[0, 0, 3, 0]).unwrap();
+        assert!(i_partition(&p, 0).is_err());
+        assert!(i_partition(&p, 2).is_err());
+        assert!(i_partition(&p, 1).is_ok());
+    }
+
+    #[test]
+    fn sequence_counts_and_disjoint_cover() {
+        // A (2,3)-partition (positions 1,2) of S_4 produces 4*3 = 12
+        // embedded S_2's that partition the 24 vertices.
+        let parts = partition_sequence(&Pattern::full(4), &[1, 2]).unwrap();
+        assert_eq!(parts.len(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for q in &parts {
+            assert_eq!(q.r(), 2);
+            for v in q.vertices() {
+                assert!(seen.insert(v), "blocks must be disjoint");
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn locate_agrees_with_enumeration() {
+        let positions = [3, 1];
+        let parts = partition_sequence(&Pattern::full(5), &positions).unwrap();
+        for v in Pattern::full(5).vertices().step_by(7) {
+            let home = locate(&v, &positions).unwrap();
+            assert!(home.contains(&v));
+            assert_eq!(parts.iter().filter(|q| q.contains(&v)).count(), 1);
+            assert!(parts.contains(&home));
+        }
+    }
+}

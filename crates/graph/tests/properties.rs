@@ -1,0 +1,132 @@
+//! Property-based tests for the star-graph substrate: metric axioms,
+//! routing optimality, pattern isomorphism, partition structure.
+
+use proptest::prelude::*;
+use star_graph::{diameter, distance, partition, routing, Pattern};
+use star_perm::{factorial, Perm};
+
+fn arb_perm_pair() -> impl Strategy<Value = (Perm, Perm)> {
+    (3usize..=8).prop_flat_map(|n| {
+        let f = factorial(n) as u32;
+        (0..f, 0..f).prop_map(move |(a, b)| {
+            (
+                Perm::unrank(n, a).expect("rank in range"),
+                Perm::unrank(n, b).expect("rank in range"),
+            )
+        })
+    })
+}
+
+fn arb_perm_triple() -> impl Strategy<Value = (Perm, Perm, Perm)> {
+    (3usize..=7).prop_flat_map(|n| {
+        let f = factorial(n) as u32;
+        (0..f, 0..f, 0..f).prop_map(move |(a, b, c)| {
+            (
+                Perm::unrank(n, a).unwrap(),
+                Perm::unrank(n, b).unwrap(),
+                Perm::unrank(n, c).unwrap(),
+            )
+        })
+    })
+}
+
+/// Strategy: a random pattern in S_n (n in 4..=8) with 2..=n free
+/// positions, plus one of its member vertices.
+fn arb_pattern_with_member() -> impl Strategy<Value = (Pattern, Perm)> {
+    (4usize..=8).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(0u8..8, n - 1),
+            0u32..5040,
+        )
+            .prop_map(|(n, pin_choices, member_seed)| {
+                // Pin a pseudo-random subset of positions 1..n to distinct
+                // symbols, leaving at least 2 free.
+                let mut pat = Pattern::full(n);
+                for (i, &c) in pin_choices.iter().enumerate() {
+                    let pos = i + 1;
+                    if pat.r() <= 2 {
+                        break;
+                    }
+                    if c % 3 == 0 {
+                        let free: Vec<u8> = pat.free_symbols().iter().collect();
+                        let sym = free[c as usize % free.len()];
+                        pat = pat.sub(pos, sym).expect("free position and symbol");
+                    }
+                }
+                let r = pat.r();
+                let local_rank = member_seed % factorial(r) as u32;
+                let member = pat.from_local(&Perm::unrank(r, local_rank).unwrap());
+                (pat, member)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn distance_metric_axioms((a, b) in arb_perm_pair()) {
+        prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+        prop_assert_eq!(distance(&a, &b) == 0, a == b);
+        prop_assert!(distance(&a, &b) <= diameter(a.n()));
+        if a.is_adjacent(&b) {
+            prop_assert_eq!(distance(&a, &b), 1);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality((a, b, c) in arb_perm_triple()) {
+        prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+    }
+
+    #[test]
+    fn routing_is_tight_and_valid((a, b) in arb_perm_pair()) {
+        let path = routing::shortest_path(&a, &b);
+        prop_assert_eq!(path.len() - 1, distance(&a, &b));
+        prop_assert_eq!(path[0], a);
+        prop_assert_eq!(*path.last().unwrap(), b);
+        for w in path.windows(2) {
+            prop_assert!(w[0].is_adjacent(&w[1]));
+        }
+    }
+
+    #[test]
+    fn pattern_local_coordinates_are_an_isomorphism((pat, member) in arb_pattern_with_member()) {
+        prop_assert!(pat.contains(&member));
+        // Roundtrip.
+        prop_assert_eq!(pat.from_local(&pat.to_local(&member)), member);
+        // Local star moves lift to pattern-internal edges and vice versa.
+        let local = pat.to_local(&member);
+        for d in 1..local.n() {
+            let lifted = pat.from_local(&local.star_move(d));
+            prop_assert!(member.is_adjacent(&lifted));
+            prop_assert!(pat.contains(&lifted));
+        }
+        // Conversely, any neighbor of `member` inside the pattern maps to a
+        // local neighbor.
+        for nb in member.neighbors() {
+            if pat.contains(&nb) {
+                prop_assert!(pat.to_local(&member).is_adjacent(&pat.to_local(&nb)));
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint_covers((pat, member) in arb_pattern_with_member()) {
+        prop_assume!(pat.r() >= 2);
+        let pos = pat.free_positions().find(|&p| p != 0).unwrap();
+        let parts = partition::i_partition(&pat, pos).unwrap();
+        prop_assert_eq!(parts.len(), pat.r());
+        // The member lands in exactly one part.
+        prop_assert_eq!(parts.iter().filter(|q| q.contains(&member)).count(), 1);
+        // Counts add up.
+        let total: u64 = parts.iter().map(Pattern::vertex_count).sum();
+        prop_assert_eq!(total, pat.vertex_count());
+    }
+
+    #[test]
+    fn locate_matches_containment((pat, member) in arb_pattern_with_member()) {
+        let pins: Vec<usize> = pat.fixed_positions().collect();
+        let located = partition::locate(&member, &pins).unwrap();
+        prop_assert_eq!(located, pat);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for permutation construction and ranking.
+
+use core::fmt;
+
+/// Errors raised when constructing or converting permutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// The requested size is outside `1..=MAX_N`.
+    SizeOutOfRange {
+        /// The size that was requested.
+        n: usize,
+    },
+    /// The input slice is not a permutation of `1..=n` (wrong symbols,
+    /// duplicates, or out-of-range entries).
+    NotAPermutation,
+    /// A rank was passed that is `>= n!` for the given `n`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: u64,
+        /// The permutation size.
+        n: usize,
+    },
+    /// A position index was `>= n`.
+    PositionOutOfRange {
+        /// The offending position.
+        pos: usize,
+        /// The permutation size.
+        n: usize,
+    },
+    /// A symbol outside `1..=n` was used.
+    SymbolOutOfRange {
+        /// The offending symbol.
+        symbol: u8,
+        /// The permutation size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermError::SizeOutOfRange { n } => {
+                write!(f, "permutation size {n} is outside 1..=MAX_N")
+            }
+            PermError::NotAPermutation => write!(f, "input is not a permutation of 1..=n"),
+            PermError::RankOutOfRange { rank, n } => {
+                write!(f, "rank {rank} is out of range for n = {n} (must be < n!)")
+            }
+            PermError::PositionOutOfRange { pos, n } => {
+                write!(f, "position {pos} is out of range for n = {n}")
+            }
+            PermError::SymbolOutOfRange { symbol, n } => {
+                write!(f, "symbol {symbol} is out of range for n = {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermError {}

@@ -1,0 +1,70 @@
+//! Factorial tables used by ranking, partition arithmetic and bound
+//! calculators.
+
+/// Factorials `0! ..= 20!` as `u64` (20! is the largest factorial that fits
+/// in a `u64`).
+pub const FACTORIALS: [u64; 21] = {
+    let mut t = [1u64; 21];
+    let mut i = 1;
+    while i < 21 {
+        t[i] = t[i - 1] * i as u64;
+        i += 1;
+    }
+    t
+};
+
+/// `n!` for `n <= 20`.
+///
+/// # Panics
+/// Panics if `n > 20` (the result would overflow a `u64`).
+#[inline]
+pub fn factorial(n: usize) -> u64 {
+    FACTORIALS[n]
+}
+
+/// The falling factorial `n * (n-1) * ... * (n-k+1)` (`k` terms), i.e.
+/// `n!/(n-k)!`. This is the number of `r`-vertices produced when an
+/// `(i_1,...,i_k)`-partition refines `S_n` (Definition 3 of the paper).
+///
+/// # Panics
+/// Panics if `k > n` or `n > 20`.
+#[inline]
+pub fn falling_factorial(n: usize, k: usize) -> u64 {
+    assert!(
+        k <= n && n <= 20,
+        "falling_factorial({n}, {k}) out of range"
+    );
+    FACTORIALS[n] / FACTORIALS[n - k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_iterative_product() {
+        let mut acc = 1u64;
+        for i in 0..=20usize {
+            if i > 0 {
+                acc *= i as u64;
+            }
+            assert_eq!(factorial(i), acc, "factorial({i})");
+        }
+    }
+
+    #[test]
+    fn falling_factorial_basics() {
+        assert_eq!(falling_factorial(5, 0), 1);
+        assert_eq!(falling_factorial(5, 1), 5);
+        assert_eq!(falling_factorial(5, 2), 20);
+        assert_eq!(falling_factorial(5, 5), 120);
+        // Number of 4-vertices in S_7: 7!/4! = 210.
+        assert_eq!(falling_factorial(7, 3), 210);
+    }
+
+    #[test]
+    #[should_panic]
+    fn falling_factorial_rejects_k_above_n() {
+        let _ = falling_factorial(3, 4);
+    }
+}

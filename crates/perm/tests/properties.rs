@@ -1,0 +1,89 @@
+//! Property-based tests for the permutation substrate.
+
+use proptest::prelude::*;
+use star_perm::{factorial, iter::PermIter, Parity, Perm};
+
+/// Strategy: a random permutation of size `n` for `n in 2..=9`.
+fn arb_perm() -> impl Strategy<Value = Perm> {
+    (2usize..=9).prop_flat_map(|n| {
+        (Just(n), 0..factorial(n) as u32)
+            .prop_map(|(n, rank)| Perm::unrank(n, rank).expect("rank in range"))
+    })
+}
+
+/// Strategy: two same-size permutations.
+fn arb_perm_pair() -> impl Strategy<Value = (Perm, Perm)> {
+    (2usize..=9).prop_flat_map(|n| {
+        let f = factorial(n) as u32;
+        (0..f, 0..f).prop_map(move |(a, b)| {
+            (
+                Perm::unrank(n, a).expect("rank in range"),
+                Perm::unrank(n, b).expect("rank in range"),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn rank_unrank_roundtrip(p in arb_perm()) {
+        prop_assert_eq!(Perm::unrank(p.n(), p.rank()).unwrap(), p);
+    }
+
+    #[test]
+    fn inverse_is_involutive_and_cancels(p in arb_perm()) {
+        prop_assert_eq!(p.inverse().inverse(), p);
+        prop_assert_eq!(p.compose(&p.inverse()), Perm::identity(p.n()));
+        prop_assert_eq!(p.inverse().compose(&p), Perm::identity(p.n()));
+    }
+
+    #[test]
+    fn composition_parity_is_additive((a, b) in arb_perm_pair()) {
+        let expected = if a.parity() == b.parity() {
+            Parity::Even
+        } else {
+            Parity::Odd
+        };
+        prop_assert_eq!(a.compose(&b).parity(), expected);
+    }
+
+    #[test]
+    fn star_moves_are_involutions_and_flip_parity(p in arb_perm(), raw_d in 1usize..16) {
+        let d = 1 + raw_d % (p.n().max(2) - 1);
+        prop_assume!(d < p.n());
+        let q = p.star_move(d);
+        prop_assert_eq!(q.star_move(d), p);
+        prop_assert_ne!(q.parity(), p.parity());
+        prop_assert!(p.is_adjacent(&q));
+        prop_assert_eq!(p.edge_dimension_to(&q), Some(d));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive((a, b) in arb_perm_pair()) {
+        prop_assert_eq!(a.is_adjacent(&b), b.is_adjacent(&a));
+        prop_assert!(!a.is_adjacent(&a));
+    }
+
+    #[test]
+    fn position_of_inverts_get(p in arb_perm(), raw in 0usize..16) {
+        let pos = raw % p.n();
+        prop_assert_eq!(p.position_of(p.get(pos)), pos);
+    }
+
+    #[test]
+    fn inverse_swaps_rank_extremes_consistently(p in arb_perm()) {
+        // The inverse of a permutation has the same cycle type, hence the
+        // same parity.
+        prop_assert_eq!(p.inverse().parity(), p.parity());
+    }
+}
+
+#[test]
+fn iterator_is_exactly_rank_order_s6() {
+    let mut count = 0u32;
+    for (i, p) in PermIter::new(6).enumerate() {
+        assert_eq!(p.rank(), i as u32);
+        count += 1;
+    }
+    assert_eq!(count as u64, factorial(6));
+}

@@ -1,0 +1,37 @@
+//! # star-sim
+//!
+//! A ring-workload simulator for faulty star-graph multiprocessors — the
+//! "why longer rings matter" motivation of the paper's introduction.
+//!
+//! Many parallel algorithms (pipelined reductions, token-based mutual
+//! exclusion, round-robin gossip) are written against a *logical ring* of
+//! processors. On a faulty `S_n`, the quality of the ring embedding
+//! determines both how many processors stay usable (ring length) and how
+//! much each logical hop costs (dilation). This crate simulates such
+//! workloads over:
+//!
+//! - [`network::FaultyStarNetwork`] — the machine model: healthy
+//!   processors/links of `S_n` under a [`star_fault::FaultSet`];
+//! - [`mapping::RingMapping`] — a logical ring mapped onto the machine,
+//!   either via an embedding (dilation 1 — every logical hop is one link)
+//!   or naively by rank order (each hop becomes a multi-link route);
+//! - [`workload`] — three ring workloads with per-message accounting:
+//!   token circulation, pipelined reduction, and gossip;
+//! - [`run`] — the executor and its [`run::SimReport`];
+//! - [`resilience`] — incremental degradation: processors fail one at a
+//!   time, the ring is re-embedded after each failure, and repair pauses /
+//!   migration costs are measured;
+//! - [`chaos`] — workloads running *while* the machine degrades (failures
+//!   absorbed between laps by the maintained ring);
+//! - [`broadcast`] — BFS broadcast trees over the healthy machine, the
+//!   latency-optimal counterpart to ring pipelines;
+//! - [`parallel`] — crossbeam-powered parameter sweeps.
+
+pub mod broadcast;
+pub mod chaos;
+pub mod mapping;
+pub mod network;
+pub mod parallel;
+pub mod resilience;
+pub mod run;
+pub mod workload;

@@ -1,0 +1,105 @@
+//! The paper's super-ring invariants (Lemma 3): properties (P1), (P2), (P3)
+//! of the `R^4`, checked against a concrete fault set.
+
+use star_fault::FaultSet;
+use star_graph::SuperRing;
+
+/// Outcome of checking a super-ring against Lemma 3's requirements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperRingReport {
+    /// (P1): every super-vertex contains at most one vertex fault.
+    pub p1: bool,
+    /// (P2): for consecutive `U, V, W`, `u_{dif(U,V)} != w_{dif(V,W)}`.
+    pub p2: bool,
+    /// (P3): no two consecutive super-vertices are both faulty.
+    pub p3: bool,
+    /// Number of faulty super-vertices on the ring.
+    pub faulty_supervertices: usize,
+    /// Largest number of faults found in a single super-vertex.
+    pub max_faults_per_supervertex: usize,
+}
+
+impl SuperRingReport {
+    /// `true` iff all three properties hold.
+    pub fn all_hold(&self) -> bool {
+        self.p1 && self.p2 && self.p3
+    }
+}
+
+/// Checks (P1), (P2), (P3) for `ring` under `faults`.
+pub fn check_super_ring(ring: &SuperRing, faults: &FaultSet) -> SuperRingReport {
+    let len = ring.len();
+    let fault_counts: Vec<usize> = ring
+        .iter()
+        .map(|p| faults.count_vertex_faults_in(p))
+        .collect();
+    let p1 = fault_counts.iter().all(|&c| c <= 1);
+    let p3 = (0..len).all(|i| !(fault_counts[i] > 0 && fault_counts[(i + 1) % len] > 0));
+    SuperRingReport {
+        p1,
+        p2: ring.satisfies_p2(),
+        p3,
+        faulty_supervertices: fault_counts.iter().filter(|&&c| c > 0).count(),
+        max_faults_per_supervertex: fault_counts.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_graph::Pattern;
+    use star_perm::Perm;
+
+    fn k5_ring() -> SuperRing {
+        // Partition S_5 at position 4: five S_4's, pairwise adjacent.
+        let pats: Vec<Pattern> = (1..=5)
+            .map(|s| Pattern::full(5).sub(4, s).unwrap())
+            .collect();
+        SuperRing::new(pats).unwrap()
+    }
+
+    #[test]
+    fn healthy_ring_has_all_properties() {
+        let ring = k5_ring();
+        let report = check_super_ring(&ring, &FaultSet::empty(5));
+        assert!(report.all_hold());
+        assert_eq!(report.faulty_supervertices, 0);
+    }
+
+    #[test]
+    fn p1_fails_with_two_faults_in_one_block() {
+        let ring = k5_ring();
+        // Two faults in the block with symbol 5 at position 4.
+        let f1 = Perm::from_digits(5, 12345);
+        let f2 = Perm::from_digits(5, 21345);
+        let faults = FaultSet::from_vertices(5, [f1, f2]).unwrap();
+        let report = check_super_ring(&ring, &faults);
+        assert!(!report.p1);
+        assert_eq!(report.max_faults_per_supervertex, 2);
+    }
+
+    #[test]
+    fn p3_fails_with_adjacent_faulty_blocks() {
+        let ring = k5_ring();
+        // Ring order is symbols 1,2,3,4,5 at position 4; faults in blocks
+        // 1 and 2 (consecutive).
+        let f1 = Perm::from_digits(5, 23451);
+        let f2 = Perm::from_digits(5, 13452);
+        let faults = FaultSet::from_vertices(5, [f1, f2]).unwrap();
+        let report = check_super_ring(&ring, &faults);
+        assert!(report.p1);
+        assert!(!report.p3);
+        assert_eq!(report.faulty_supervertices, 2);
+    }
+
+    #[test]
+    fn p3_holds_with_separated_faulty_blocks() {
+        let ring = k5_ring();
+        // Faults in blocks 1 and 3 — not cyclically consecutive.
+        let f1 = Perm::from_digits(5, 23451);
+        let f2 = Perm::from_digits(5, 12453);
+        let faults = FaultSet::from_vertices(5, [f1, f2]).unwrap();
+        let report = check_super_ring(&ring, &faults);
+        assert!(report.all_hold());
+    }
+}

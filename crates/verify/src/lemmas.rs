@@ -1,0 +1,217 @@
+//! Computational validation of the paper's structural lemmas.
+//!
+//! The embedder *relies* on Lemmas 1, 5 and 6; this module states each
+//! lemma as an executable predicate so the test suite can confirm them
+//! exhaustively on small configurations (and so a skeptical reader can
+//! check any configuration interactively). Lemma 4 is validated separately
+//! by the exhaustive oracle sweep in `star-ring`.
+
+use star_graph::supervertex::SuperEdge;
+use star_graph::Pattern;
+use star_perm::Perm;
+
+/// **Lemma 1.** Let `U, V, W` be consecutive `r`-vertices on an `R^r`
+/// (`V` adjacent to both), `p = dif(U,V)`, `q = dif(V,W)`, and suppose
+/// `u_p != w_q`. Then after partitioning `V` at any free position `j != 0`
+/// every sub-vertex of `V` is connected to `U` or to `W`.
+///
+/// Returns `true` iff the conclusion holds for the given configuration
+/// (the caller chooses configurations satisfying the hypothesis; the
+/// predicate itself just checks the conclusion).
+pub fn lemma1_conclusion(u: &Pattern, v: &Pattern, w: &Pattern, j: usize) -> bool {
+    let subs = match star_graph::partition::i_partition(v, j) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    subs.iter().all(|sub| {
+        let to_u = u
+            .free_symbols()
+            .contains(sub.fixed_symbol(j).expect("pinned by partition"));
+        let to_w = w
+            .free_symbols()
+            .contains(sub.fixed_symbol(j).expect("pinned by partition"));
+        // A sub-vertex connects to a neighbor super-vertex iff its new
+        // pinned symbol is free there (the neighbor then owns the adjacent
+        // sub-pattern with the same symbol at j).
+        to_u || to_w
+    })
+}
+
+/// The hypothesis of Lemma 1 (and property (P2)): `u_{dif(U,V)} !=
+/// w_{dif(V,W)}`.
+pub fn lemma1_hypothesis(u: &Pattern, v: &Pattern, w: &Pattern) -> Option<bool> {
+    let p = u.dif(v)?;
+    let q = v.dif(w)?;
+    Some(u.fixed_symbol(p) != w.fixed_symbol(q))
+}
+
+/// The 6-cycle of a 3-vertex, as the cyclic vertex order `c_0..c_5`.
+pub fn six_cycle(u: &Pattern) -> Vec<Perm> {
+    assert_eq!(u.r(), 3, "six_cycle takes a 3-vertex");
+    let start = u.representative();
+    let mut cycle = vec![start];
+    let mut prev = start;
+    let mut cur = start
+        .neighbors()
+        .find(|nb| u.contains(nb))
+        .expect("a 3-vertex has internal edges");
+    while cur != start {
+        cycle.push(cur);
+        let next = cur
+            .neighbors()
+            .find(|nb| u.contains(nb) && *nb != prev)
+            .expect("interior vertices of a 6-cycle have two block neighbors");
+        prev = cur;
+        cur = next;
+    }
+    debug_assert_eq!(cycle.len(), 6);
+    cycle
+}
+
+/// **Lemma 5.** If `U` and `V` are adjacent 3-vertices, exactly two
+/// vertices of `U` are connected to `V`, and they are antipodal
+/// (`c_j` and `c_{j+3}`) on `U`'s 6-cycle.
+pub fn lemma5_holds(u: &Pattern, v: &Pattern) -> bool {
+    let Ok(edge) = SuperEdge::between(*u, *v) else {
+        return false;
+    };
+    let cycle = six_cycle(u);
+    let cross_positions: Vec<usize> = (0..6)
+        .filter(|&i| edge.is_cross_vertex(&cycle[i]))
+        .collect();
+    cross_positions.len() == 2 && (cross_positions[1] - cross_positions[0]) == 3
+}
+
+/// **Lemma 6.** If `V` is adjacent to both `U` and `W` and the (P2)
+/// condition `u_{dif(U,V)} != w_{dif(V,W)}` holds, the two vertices of `V`
+/// connected to `U` are disjoint from the two connected to `W`.
+pub fn lemma6_holds(u: &Pattern, v: &Pattern, w: &Pattern) -> bool {
+    let (Ok(to_u), Ok(to_w)) = (SuperEdge::between(*v, *u), SuperEdge::between(*v, *w)) else {
+        return false;
+    };
+    let cross_u: Vec<Perm> = v.vertices().filter(|x| to_u.is_cross_vertex(x)).collect();
+    let cross_w: Vec<Perm> = v.vertices().filter(|x| to_w.is_cross_vertex(x)).collect();
+    cross_u.iter().all(|x| !cross_w.contains(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_graph::partition::partition_sequence;
+
+    /// All 3-vertices of S_5 under a fixed (1,2)-partition, for exhaustive
+    /// lemma sweeps.
+    fn three_vertices_s5() -> Vec<Pattern> {
+        partition_sequence(&Pattern::full(5), &[1, 2]).unwrap()
+    }
+
+    #[test]
+    fn six_cycle_really_is_the_block() {
+        for u in three_vertices_s5().into_iter().take(6) {
+            let cycle = six_cycle(&u);
+            assert_eq!(cycle.len(), 6);
+            for i in 0..6 {
+                assert!(cycle[i].is_adjacent(&cycle[(i + 1) % 6]));
+                assert!(u.contains(&cycle[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5_exhaustive_s5() {
+        let all = three_vertices_s5();
+        let mut pairs = 0;
+        for u in &all {
+            for v in &all {
+                if u.is_adjacent(v) {
+                    assert!(lemma5_holds(u, v), "Lemma 5 fails for {u}, {v}");
+                    pairs += 1;
+                }
+            }
+        }
+        assert!(pairs > 0, "sweep must cover adjacent pairs");
+    }
+
+    #[test]
+    fn lemma6_exhaustive_s5() {
+        let all = three_vertices_s5();
+        let mut triples = 0;
+        for u in &all {
+            for v in &all {
+                if !v.is_adjacent(u) {
+                    continue;
+                }
+                for w in &all {
+                    if w == u || !v.is_adjacent(w) {
+                        continue;
+                    }
+                    if lemma1_hypothesis(u, v, w) == Some(true) {
+                        assert!(lemma6_holds(u, v, w), "Lemma 6 fails for {u},{v},{w}");
+                        triples += 1;
+                    }
+                }
+            }
+        }
+        assert!(triples > 0);
+    }
+
+    #[test]
+    fn lemma6_needs_the_hypothesis() {
+        // The disjointness genuinely depends on (P2): find a triple
+        // violating the hypothesis where the cross pairs overlap.
+        let all = three_vertices_s5();
+        let mut found_overlap = false;
+        'outer: for u in &all {
+            for v in &all {
+                if !v.is_adjacent(u) {
+                    continue;
+                }
+                for w in &all {
+                    if w == u || !v.is_adjacent(w) {
+                        continue;
+                    }
+                    if lemma1_hypothesis(u, v, w) == Some(false) && !lemma6_holds(u, v, w) {
+                        found_overlap = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(
+            found_overlap,
+            "without (P2) the cross pairs can (and somewhere do) collide"
+        );
+    }
+
+    #[test]
+    fn lemma1_exhaustive_on_4_vertices_of_s6() {
+        // 4-vertices of S_6 under a (1,3)-partition; check every U-V-W
+        // path satisfying the hypothesis, partitioning V at each free
+        // position.
+        let all = partition_sequence(&Pattern::full(6), &[1, 3]).unwrap();
+        let mut checked = 0;
+        for u in all.iter().take(10) {
+            for v in &all {
+                if !v.is_adjacent(u) {
+                    continue;
+                }
+                for w in &all {
+                    if w == u || !v.is_adjacent(w) {
+                        continue;
+                    }
+                    if lemma1_hypothesis(u, v, w) != Some(true) {
+                        continue;
+                    }
+                    for j in v.free_positions().filter(|&j| j != 0) {
+                        assert!(
+                            lemma1_conclusion(u, v, w, j),
+                            "Lemma 1 fails for {u},{v},{w} at j={j}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Validity checks for embedded rings and paths.
+
+use core::fmt;
+use std::collections::HashSet;
+
+use star_fault::FaultSet;
+use star_perm::Perm;
+
+/// Why a ring or path failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The sequence is empty or too short to be a ring.
+    TooShort {
+        /// Number of vertices supplied.
+        len: usize,
+    },
+    /// A vertex has the wrong permutation size for `S_n`.
+    WrongDimension {
+        /// Index in the sequence.
+        index: usize,
+    },
+    /// A vertex appears more than once.
+    RepeatedVertex {
+        /// Index of the second occurrence.
+        index: usize,
+        /// The repeated vertex.
+        vertex: Perm,
+    },
+    /// Two consecutive vertices are not adjacent in `S_n`.
+    NotAdjacent {
+        /// Index of the first vertex of the offending step.
+        index: usize,
+    },
+    /// A vertex on the ring is faulty.
+    FaultyVertex {
+        /// Index of the faulty vertex.
+        index: usize,
+        /// The vertex.
+        vertex: Perm,
+    },
+    /// A step of the ring uses a faulty edge.
+    FaultyEdge {
+        /// Index of the first endpoint.
+        index: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::TooShort { len } => write!(f, "sequence of {len} vertices is too short"),
+            VerifyError::WrongDimension { index } => {
+                write!(f, "vertex at index {index} has the wrong dimension")
+            }
+            VerifyError::RepeatedVertex { index, vertex } => {
+                write!(f, "vertex {vertex} repeated at index {index}")
+            }
+            VerifyError::NotAdjacent { index } => {
+                write!(
+                    f,
+                    "vertices at indices {index}, {} are not adjacent",
+                    index + 1
+                )
+            }
+            VerifyError::FaultyVertex { index, vertex } => {
+                write!(f, "faulty vertex {vertex} on ring at index {index}")
+            }
+            VerifyError::FaultyEdge { index } => {
+                write!(f, "faulty edge used at step {index} -> {}", index + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies that `vertices` is a simple, healthy **ring** of `S_n`: all
+/// distinct healthy vertices, consecutive (and wrap-around) pairs adjacent
+/// via healthy edges, and length at least 3 (the star graph's girth is 6,
+/// so any real ring has length >= 6; 3 is the structural minimum for a
+/// cycle).
+pub fn check_ring(n: usize, vertices: &[Perm], faults: &FaultSet) -> Result<(), VerifyError> {
+    if vertices.len() < 3 {
+        return Err(VerifyError::TooShort {
+            len: vertices.len(),
+        });
+    }
+    check_common(n, vertices, faults)?;
+    // Wrap-around step.
+    let last = vertices.len() - 1;
+    if !vertices[last].is_adjacent(&vertices[0]) {
+        return Err(VerifyError::NotAdjacent { index: last });
+    }
+    if faults.is_edge_faulty(&vertices[last], &vertices[0]) {
+        return Err(VerifyError::FaultyEdge { index: last });
+    }
+    Ok(())
+}
+
+/// Verifies that `vertices` is a simple, healthy **path** of `S_n` (no
+/// wrap-around requirement; a single vertex is a valid path).
+pub fn check_path(n: usize, vertices: &[Perm], faults: &FaultSet) -> Result<(), VerifyError> {
+    if vertices.is_empty() {
+        return Err(VerifyError::TooShort { len: 0 });
+    }
+    check_common(n, vertices, faults)
+}
+
+fn check_common(n: usize, vertices: &[Perm], faults: &FaultSet) -> Result<(), VerifyError> {
+    let mut seen: HashSet<u32> = HashSet::with_capacity(vertices.len());
+    for (i, v) in vertices.iter().enumerate() {
+        if v.n() != n {
+            return Err(VerifyError::WrongDimension { index: i });
+        }
+        if !seen.insert(v.rank()) {
+            return Err(VerifyError::RepeatedVertex {
+                index: i,
+                vertex: *v,
+            });
+        }
+        if faults.is_vertex_faulty(v) {
+            return Err(VerifyError::FaultyVertex {
+                index: i,
+                vertex: *v,
+            });
+        }
+    }
+    for i in 0..vertices.len().saturating_sub(1) {
+        if !vertices[i].is_adjacent(&vertices[i + 1]) {
+            return Err(VerifyError::NotAdjacent { index: i });
+        }
+        if faults.is_edge_faulty(&vertices[i], &vertices[i + 1]) {
+            return Err(VerifyError::FaultyEdge { index: i });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_graph::Edge;
+
+    fn six_ring() -> Vec<Perm> {
+        // S_3 is a 6-cycle; walk it.
+        let mut v = Perm::identity(3);
+        let mut out = vec![v];
+        for d in [1, 2, 1, 2, 1] {
+            v = v.star_move(d);
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn accepts_s3_six_cycle() {
+        let ring = six_ring();
+        assert_eq!(ring.len(), 6);
+        check_ring(3, &ring, &FaultSet::empty(3)).unwrap();
+    }
+
+    #[test]
+    fn rejects_broken_adjacency() {
+        let mut ring = six_ring();
+        ring.swap(1, 3);
+        assert!(matches!(
+            check_ring(3, &ring, &FaultSet::empty(3)),
+            Err(VerifyError::NotAdjacent { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_repeats() {
+        let mut ring = six_ring();
+        ring[4] = ring[0];
+        assert!(matches!(
+            check_ring(3, &ring, &FaultSet::empty(3)),
+            Err(VerifyError::RepeatedVertex { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_faulty_vertex_and_edge() {
+        let ring = six_ring();
+        let faults = FaultSet::from_vertices(3, [ring[2]]).unwrap();
+        assert!(matches!(
+            check_ring(3, &ring, &faults),
+            Err(VerifyError::FaultyVertex { .. })
+        ));
+        let e = Edge::new(ring[5], ring[0]).unwrap();
+        let efaults = FaultSet::from_edges(3, [e]).unwrap();
+        assert!(matches!(
+            check_ring(3, &ring, &efaults),
+            Err(VerifyError::FaultyEdge { index: 5 })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_and_wrong_dimension() {
+        assert!(matches!(
+            check_ring(3, &six_ring()[..2], &FaultSet::empty(3)),
+            Err(VerifyError::TooShort { len: 2 })
+        ));
+        assert!(matches!(
+            check_ring(4, &six_ring(), &FaultSet::empty(4)),
+            Err(VerifyError::WrongDimension { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn path_checks() {
+        let ring = six_ring();
+        check_path(3, &ring[..4], &FaultSet::empty(3)).unwrap();
+        check_path(3, &ring[..1], &FaultSet::empty(3)).unwrap();
+        assert!(check_path(3, &[], &FaultSet::empty(3)).is_err());
+    }
+}

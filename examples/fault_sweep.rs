@@ -1,0 +1,58 @@
+//! Fault sweep: how much of the machine survives as fault count and
+//! placement vary — the paper's guarantee visualized as a table.
+//!
+//! ```text
+//! cargo run --release --example fault_sweep
+//! ```
+
+use star_rings::fault::gen;
+use star_rings::perm::{factorial, Parity};
+use star_rings::ring::embed_longest_ring;
+use star_rings::sim::parallel::sweep;
+use star_rings::verify::check_ring;
+
+fn main() {
+    let n = 7;
+    let budget = n - 3;
+    println!(
+        "S_{n}: {} processors, fault budget n-3 = {budget}",
+        factorial(n)
+    );
+    println!();
+    println!("  |Fv|  placement    ring length   lost   retained");
+    println!("  ------------------------------------------------");
+
+    let mut configs = Vec::new();
+    for fv in 0..=budget {
+        for placement in ["random", "worst-case", "adversarial"] {
+            configs.push((fv, placement));
+        }
+    }
+    let rows = sweep(configs, |&(fv, placement)| {
+        let faults = match placement {
+            "worst-case" => gen::worst_case_same_partite(n, fv, Parity::Odd, 3).unwrap(),
+            "adversarial" => gen::adversarial_neighborhood(n, fv).unwrap(),
+            _ => gen::random_vertex_faults(n, fv, 3).unwrap(),
+        };
+        let ring = embed_longest_ring(n, &faults).expect("theorem applies");
+        check_ring(n, ring.vertices(), &faults).expect("verified");
+        (fv, placement, ring.len())
+    });
+
+    for (fv, placement, len) in rows {
+        println!(
+            "  {:>4}  {:<11}  {:>11}  {:>5}  {:>7.3}%",
+            fv,
+            placement,
+            len,
+            factorial(n) as usize - len,
+            100.0 * len as f64 / factorial(n) as f64
+        );
+    }
+
+    println!();
+    println!(
+        "Every row loses exactly 2 vertices per fault — the bipartite\n\
+         optimum — regardless of where the faults land."
+    );
+}

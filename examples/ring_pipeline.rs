@@ -1,0 +1,59 @@
+//! Ring workloads on a degraded machine: why the extra ring length and
+//! dilation-1 guarantee matter to actual parallel programs.
+//!
+//! ```text
+//! cargo run --release --example ring_pipeline
+//! ```
+
+use star_rings::fault::gen;
+use star_rings::sim::run::{simulate, MappingKind};
+use star_rings::sim::workload::{Gossip, PipelineReduce, TokenRing, Workload};
+
+fn main() {
+    let n = 6;
+    let fv = n - 3;
+    let faults = gen::random_vertex_faults(n, fv, 2024).unwrap();
+    println!("machine: S_{n} with {fv} dead processors");
+    println!();
+
+    let token = TokenRing { laps: 10 };
+    let workloads: Vec<&dyn Workload> = vec![&token, &PipelineReduce, &Gossip];
+    let mappings = [
+        (
+            "paper embedding  (n!-2f slots)",
+            MappingKind::EmbeddedOptimal,
+        ),
+        (
+            "tseng embedding  (n!-4f slots)",
+            MappingKind::EmbeddedBaseline,
+        ),
+        ("naive rank ring  (no embedding)", MappingKind::NaiveByRank),
+    ];
+
+    for w in &workloads {
+        println!("workload: {}", w.name());
+        for (label, kind) in mappings {
+            let r = simulate(n, &faults, kind, *w).expect("simulation runs");
+            println!(
+                "  {label}  slots={:<4} dilation={:<2} links={:<8} work/link={:.3}",
+                r.slots,
+                r.dilation,
+                r.usage.link_traversals,
+                r.work_per_traversal()
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "The embeddings keep every logical hop on one physical link; the\n\
+         naive ring wastes {}x the link bandwidth on routing detours.",
+        {
+            let r_naive = simulate(n, &faults, MappingKind::NaiveByRank, &PipelineReduce).unwrap();
+            let r_emb =
+                simulate(n, &faults, MappingKind::EmbeddedOptimal, &PipelineReduce).unwrap();
+            (r_naive.usage.link_traversals as f64 / r_emb.usage.link_traversals as f64).round()
+                as u64
+        }
+    );
+}

@@ -1,0 +1,69 @@
+//! A tour of the star-graph substrate: the structures Section 2 of the
+//! paper defines, computed live.
+//!
+//! ```text
+//! cargo run --release --example topology_tour
+//! ```
+
+use star_rings::graph::{diameter, distance, partition, routing, Pattern, StarGraph, SuperRing};
+use star_rings::perm::Perm;
+
+fn main() {
+    let n = 5;
+    let g = StarGraph::new(n).unwrap();
+    println!(
+        "S_{n}: {} vertices, {} edges, degree {}, diameter {}",
+        g.vertex_count(),
+        g.edge_count(),
+        g.degree(),
+        diameter(n)
+    );
+
+    // Vertices are permutations; edges swap the first symbol with another.
+    let u = Perm::from_digits(5, 12345);
+    println!("\nneighbors of {u}:");
+    for v in g.neighbors(&u) {
+        println!("  {v}  (dimension {})", u.edge_dimension_to(&v).unwrap());
+    }
+
+    // Exact distance + an optimal route (Akers-Krishnamurthy).
+    let v = Perm::from_digits(5, 54321);
+    let path = routing::shortest_path(&u, &v);
+    println!("\ndistance({u}, {v}) = {}", distance(&u, &v));
+    print!("route: {}", path[0]);
+    for w in &path[1..] {
+        print!(" -> {w}");
+    }
+    println!();
+
+    // Embedded sub-stars and partitions (the paper's <s1...sn>_r notation).
+    let s3 = Pattern::from_spec(&[0, 0, 0, 1, 5]).unwrap();
+    println!(
+        "\nembedded sub-star {s3} has {} vertices:",
+        s3.vertex_count()
+    );
+    for m in s3.vertices() {
+        print!("  {m}");
+    }
+    println!();
+
+    let parts = partition::i_partition(&s3, 2).unwrap();
+    println!("its 2-partition (paper: 3-partition) gives:");
+    for p in &parts {
+        println!("  {p}");
+    }
+
+    // Super-vertices form rings; one partition of S_5 is already an R^4.
+    let blocks = partition::i_partition(&Pattern::full(n), 4).unwrap();
+    let r4 = SuperRing::new(blocks).unwrap();
+    println!(
+        "\nthe 5 blocks of a 5-partition form an R^4: {} super-vertices, P2 = {}",
+        r4.len(),
+        r4.satisfies_p2()
+    );
+    print!("ring: ");
+    for p in r4.iter() {
+        print!("{p} ");
+    }
+    println!();
+}

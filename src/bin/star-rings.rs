@@ -1,0 +1,369 @@
+//! `star-rings` — command-line front end for the library.
+//!
+//! ```text
+//! star-rings info <n>
+//! star-rings embed <n> [--random K] [--worst K] [--fault PERM]... [--seed S] [--print]
+//! star-rings verify <n> <ring-file> [--fault PERM]...
+//! star-rings degrade <n> [--failures K] [--seed S]
+//! star-rings certify <n> [fault options] > ring.cert
+//! star-rings verify-cert <cert-file>
+//! star-rings dot <n> [fault options] > ring.dot
+//! ```
+//!
+//! Rings are written/read as one permutation per line (symbols as digits
+//! for `n <= 9`, dot-separated otherwise), so `embed --print > ring.txt`
+//! followed by `verify ring.txt` round-trips.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use star_rings::fault::{gen, FaultSet};
+use star_rings::graph::{diameter, StarGraph};
+use star_rings::perm::{factorial, Parity, Perm};
+use star_rings::ring::embed_longest_ring;
+use star_rings::sim::resilience::degrade;
+use star_rings::verify::{bounds, check_ring};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("embed") => cmd_embed(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("degrade") => cmd_degrade(&args[1..]),
+        Some("certify") => cmd_certify(&args[1..]),
+        Some("verify-cert") => cmd_verify_cert(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "star-rings — longest fault-free rings in star graphs (Hsieh-Chen-Ho 1998)\n\
+         \n\
+         USAGE:\n\
+         \x20 star-rings info <n>                         topology facts for S_n\n\
+         \x20 star-rings embed <n> [OPTIONS]              embed a longest healthy ring\n\
+         \x20     --fault <perm>     add an explicit faulty processor (repeatable)\n\
+         \x20     --random <k>       add k uniform-random faults\n\
+         \x20     --worst <k>        add k worst-case (same partite set) faults\n\
+         \x20     --seed <s>         RNG seed for --random/--worst (default 0)\n\
+         \x20     --print            write the ring, one vertex per line, to stdout\n\
+         \x20     --stats            print the construction transcript (phases, levels,\n\
+         \x20                        Lemma-4 oracle cache behavior)\n\
+         \x20 star-rings verify <n> <ring-file> [--fault <perm>]...\n\
+         \x20                                             check a ring file against faults\n\
+         \x20 star-rings degrade <n> [--failures <k>] [--seed <s>]\n\
+         \x20                                             incremental-failure timeline\n\
+         \x20 star-rings certify <n> [fault options]      embed + print a re-checkable\n\
+         \x20                                             STARRING-CERT to stdout\n\
+         \x20 star-rings verify-cert <cert-file>          re-verify a certificate\n\
+         \x20 star-rings dot <n> [fault options]          Graphviz DOT of the embedded\n\
+         \x20                                             ring (n <= 5 recommended)\n\
+         \n\
+         Permutations are written as digit strings for n <= 9 (e.g. 321456)\n\
+         and dot-separated otherwise (e.g. 10.2.3.1...)."
+    );
+}
+
+fn parse_n(args: &[String]) -> Result<usize, String> {
+    args.first()
+        .ok_or("missing <n>".to_string())?
+        .parse::<usize>()
+        .map_err(|_| "n must be an integer".to_string())
+        .and_then(|n| {
+            if (3..=12).contains(&n) {
+                Ok(n)
+            } else {
+                Err("n must be in 3..=12".to_string())
+            }
+        })
+}
+
+fn parse_perm(n: usize, text: &str) -> Result<Perm, String> {
+    let p: Perm = text.parse().map_err(|e| format!("`{text}`: {e}"))?;
+    if p.n() != n {
+        return Err(format!("`{text}` has {} symbols, expected {n}", p.n()));
+    }
+    Ok(p)
+}
+
+fn parse_faults(n: usize, args: &[String]) -> Result<(FaultSet, bool), String> {
+    let mut faults = FaultSet::empty(n);
+    let mut seed = 0u64;
+    let mut random = 0usize;
+    let mut worst = 0usize;
+    let mut print = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fault" => {
+                i += 1;
+                let p = parse_perm(n, args.get(i).ok_or("--fault needs a value")?)?;
+                faults.add_vertex(p).map_err(|e| e.to_string())?;
+            }
+            "--random" => {
+                i += 1;
+                random = args
+                    .get(i)
+                    .ok_or("--random needs a count")?
+                    .parse()
+                    .map_err(|_| "--random count must be an integer")?;
+            }
+            "--worst" => {
+                i += 1;
+                worst = args
+                    .get(i)
+                    .ok_or("--worst needs a count")?
+                    .parse()
+                    .map_err(|_| "--worst count must be an integer")?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+            }
+            "--print" => print = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if random > 0 {
+        let extra = gen::random_vertex_faults(n, random, seed).map_err(|e| e.to_string())?;
+        for v in extra.vertices() {
+            // Skip collisions with explicit faults rather than erroring.
+            let _ = faults.add_vertex(*v);
+        }
+    }
+    if worst > 0 {
+        let extra = gen::worst_case_same_partite(n, worst, Parity::Even, seed)
+            .map_err(|e| e.to_string())?;
+        for v in extra.vertices() {
+            let _ = faults.add_vertex(*v);
+        }
+    }
+    Ok((faults, print))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let n = parse_n(args)?;
+    let g = StarGraph::new(n).map_err(|e| e.to_string())?;
+    println!("S_{n} — the {n}-dimensional star graph");
+    println!("  vertices            {}", g.vertex_count());
+    println!("  edges               {}", g.edge_count());
+    println!("  degree              {}", g.degree());
+    println!("  diameter            {}", diameter(n));
+    println!(
+        "  bipartite           yes (equal partite sets of {})",
+        g.vertex_count() / 2
+    );
+    println!("  fault budget (n-3)  {}", n.saturating_sub(3));
+    println!(
+        "  guaranteed ring     n! - 2|Fv|  (= {} at the full budget)",
+        bounds::hsieh_chen_ho_length(n, n.saturating_sub(3))
+    );
+    Ok(())
+}
+
+fn cmd_embed(args: &[String]) -> Result<(), String> {
+    let n = parse_n(args)?;
+    let stats = args.iter().any(|a| a == "--stats");
+    let rest: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| *a != "--stats")
+        .cloned()
+        .collect();
+    let (faults, print) = parse_faults(n, &rest)?;
+    if stats {
+        let (ring, report) =
+            star_rings::ring::report::embed_with_report(n, &faults).map_err(|e| e.to_string())?;
+        eprintln!(
+            "embedded ring of {} / {} vertices ({} faults, {} lost)",
+            ring.len(),
+            factorial(n),
+            faults.vertex_fault_count(),
+            ring.deficiency(),
+        );
+        eprintln!(
+            "  plan      {:?} (spare {:?}) in {:.3} ms",
+            report.plan_sequence,
+            report.plan_spare,
+            report.plan_time.as_secs_f64() * 1e3
+        );
+        for l in &report.levels {
+            eprintln!(
+                "  level     R^{} with {} super-vertices",
+                l.order, l.supervertices
+            );
+        }
+        eprintln!(
+            "  hierarchy {:.3} ms",
+            report.hierarchy_time.as_secs_f64() * 1e3
+        );
+        eprintln!(
+            "  expand    {:.3} ms (oracle: {} hits, {} searches)",
+            report.expand_time.as_secs_f64() * 1e3,
+            report.oracle_hits,
+            report.oracle_misses
+        );
+        eprintln!(
+            "  verify    {:.3} ms",
+            report.verify_time.as_secs_f64() * 1e3
+        );
+        if print {
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            for v in ring.vertices() {
+                writeln!(out, "{v}").map_err(|e| e.to_string())?;
+            }
+        }
+        return Ok(());
+    }
+    let t0 = std::time::Instant::now();
+    let ring = embed_longest_ring(n, &faults).map_err(|e| e.to_string())?;
+    let dt = t0.elapsed();
+    eprintln!(
+        "embedded ring of {} / {} vertices ({} faults, {} lost) in {:.2} ms",
+        ring.len(),
+        factorial(n),
+        faults.vertex_fault_count(),
+        ring.deficiency(),
+        dt.as_secs_f64() * 1e3
+    );
+    if print {
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        for v in ring.vertices() {
+            writeln!(out, "{v}").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let n = parse_n(args)?;
+    let path = args.get(1).ok_or("missing <ring-file>")?;
+    let (faults, _) = parse_faults(n, &args[2..])?;
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut ring = Vec::new();
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            ring.push(parse_perm(n, trimmed)?);
+        }
+    }
+    check_ring(n, &ring, &faults).map_err(|e| format!("INVALID: {e}"))?;
+    println!(
+        "valid healthy ring of {} vertices in S_{n} (avoids all {} faults)",
+        ring.len(),
+        faults.vertex_fault_count()
+    );
+    Ok(())
+}
+
+fn cmd_certify(args: &[String]) -> Result<(), String> {
+    let n = parse_n(args)?;
+    let (faults, _) = parse_faults(n, &args[1..])?;
+    let ring = embed_longest_ring(n, &faults).map_err(|e| e.to_string())?;
+    let cert = star_rings::verify::certificate::certificate_for(n, &faults, ring.vertices());
+    print!("{cert}");
+    eprintln!(
+        "certified ring of {} vertices avoiding {} faults",
+        ring.len(),
+        faults.vertex_fault_count()
+    );
+    Ok(())
+}
+
+fn cmd_verify_cert(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <cert-file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = star_rings::verify::certificate::verify_certificate(&text)
+        .map_err(|e| format!("REJECTED: {e}"))?;
+    println!(
+        "certificate OK: ring of {} in S_{} avoiding {} faults (at paper guarantee: {})",
+        summary.ring_len, summary.n, summary.fault_count, summary.at_guarantee
+    );
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let n = parse_n(args)?;
+    if n > 5 {
+        eprintln!("warning: S_{n} has {} edges; the drawing will be dense", {
+            star_rings::graph::edge_count(n)
+        });
+    }
+    let (faults, _) = parse_faults(n, &args[1..])?;
+    let ring = embed_longest_ring(n, &faults).map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        star_rings::graph::export::ring_to_dot(n, ring.vertices(), faults.vertices())
+    );
+    Ok(())
+}
+
+fn cmd_degrade(args: &[String]) -> Result<(), String> {
+    let n = parse_n(args)?;
+    let mut failures = n.saturating_sub(3);
+    let mut seed = 0u64;
+    let rest = &args[1..];
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--failures" => {
+                i += 1;
+                failures = rest
+                    .get(i)
+                    .ok_or("--failures needs a count")?
+                    .parse()
+                    .map_err(|_| "--failures must be an integer")?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = rest
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if failures > n.saturating_sub(3) {
+        return Err(format!("at most n-3 = {} failures supported", n - 3));
+    }
+    let seq: Vec<Perm> = gen::random_vertex_faults(n, failures, seed)
+        .map_err(|e| e.to_string())?
+        .vertices()
+        .to_vec();
+    let timeline = degrade(n, &seq).map_err(|e| e.to_string())?;
+    println!("boot: ring of {}", factorial(n));
+    for step in &timeline.steps {
+        println!(
+            "fail {} -> ring {} (repair {:.2} ms, {:.1}% edges kept)",
+            step.failed,
+            step.ring_len,
+            step.reembed_time.as_secs_f64() * 1e3,
+            100.0 * step.edge_survival
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # star-rings
+//!
+//! Umbrella crate for the reproduction of *"Embed Longest Rings onto Star
+//! Graphs with Vertex Faults"* (Sun-Yuan Hsieh, Gen-Huey Chen, Chin-Wen Ho;
+//! ICPP 1998).
+//!
+//! Re-exports the workspace crates under short module names so that the
+//! examples and integration tests can use a single dependency:
+//!
+//! - [`perm`] — permutations (vertices of `S_n`).
+//! - [`graph`] — the star graph `S_n`, sub-stars, partitions, super-rings.
+//! - [`fault`] — vertex/edge fault sets and generators.
+//! - [`ring`] — **the paper's algorithm**: longest fault-free ring
+//!   embeddings (`n! - 2|F_v|` with `|F_v| <= n-3`).
+//! - [`baselines`] — prior-art comparators (Tseng et al.,
+//!   Latifi–Bagherzadeh).
+//! - [`verify`] — ring/path validity and optimality checkers.
+//! - [`sim`] — ring-workload simulation on faulty star networks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use star_rings::fault::FaultSet;
+//! use star_rings::perm::Perm;
+//! use star_rings::ring::embed_longest_ring;
+//! use star_rings::verify::check_ring;
+//!
+//! // S_6 with 3 vertex faults (the maximum n-3 allows).
+//! let n = 6;
+//! let faults = FaultSet::from_vertices(
+//!     n,
+//!     [
+//!         Perm::from_digits(6, 123456),
+//!         Perm::from_digits(6, 213456),
+//!         Perm::from_digits(6, 321456),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let ring = embed_longest_ring(n, &faults).unwrap();
+//! assert_eq!(ring.len(), 720 - 2 * 3); // n! - 2|F_v|
+//! check_ring(n, ring.vertices(), &faults).unwrap();
+//! ```
+
+pub use star_baselines as baselines;
+pub use star_fault as fault;
+pub use star_graph as graph;
+pub use star_perm as perm;
+pub use star_ring as ring;
+pub use star_sim as sim;
+pub use star_verify as verify;

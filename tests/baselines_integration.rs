@@ -1,0 +1,71 @@
+//! Cross-crate integration of the baseline constructions against the
+//! paper's embedder on shared fault sets.
+
+use star_rings::baselines::{hamiltonian, latifi, tseng_vertex};
+use star_rings::fault::gen;
+use star_rings::perm::factorial;
+use star_rings::ring::embed_longest_ring;
+use star_rings::verify::{bounds, check_ring};
+
+#[test]
+fn dominance_over_tseng_everywhere() {
+    for n in [6usize, 7] {
+        for fv in 1..=(n - 3) {
+            for seed in 0..4 {
+                let faults = gen::random_vertex_faults(n, fv, seed).unwrap();
+                let ours = embed_longest_ring(n, &faults).unwrap();
+                let theirs = tseng_vertex::tseng_vertex_ring(n, &faults).unwrap();
+                check_ring(n, theirs.vertices(), &faults).unwrap();
+                assert_eq!(ours.len() as u64, bounds::hsieh_chen_ho_length(n, fv));
+                assert_eq!(theirs.len() as u64, bounds::tseng_vertex_length(n, fv));
+                assert_eq!(ours.len() - theirs.len(), 2 * fv);
+            }
+        }
+    }
+}
+
+#[test]
+fn latifi_crossover_matches_theory() {
+    let n = 7;
+    // 2f < m!: the paper wins.
+    let loose = gen::clustered_in_substar(n, 4, 4, 3).unwrap();
+    let ours = embed_longest_ring(n, &loose).unwrap().len() as u64;
+    let lat = latifi::latifi_ring(n, &loose).unwrap();
+    check_ring(n, lat.ring.vertices(), &loose).unwrap();
+    if lat.m == 4 {
+        assert!(ours > lat.ring.len() as u64);
+    }
+    // 2f > m!: Latifi wins (tight S_2 cluster with 2 faults).
+    let tight = gen::clustered_in_substar(n, 2, 2, 3).unwrap();
+    let ours_t = embed_longest_ring(n, &tight).unwrap().len() as u64;
+    let lat_t = latifi::latifi_ring(n, &tight).unwrap();
+    assert_eq!(lat_t.m, 2);
+    assert_eq!(lat_t.ring.len() as u64, factorial(n) - 2);
+    assert!(lat_t.ring.len() as u64 > ours_t);
+}
+
+#[test]
+fn hamiltonian_constructions_cross_validate() {
+    for n in 4..=6 {
+        let a = hamiltonian::hamiltonian_cycle(n).unwrap();
+        let b = hamiltonian::hamiltonian_cycle_via_laceable(n).unwrap();
+        assert_eq!(a.len() as u64, factorial(n));
+        assert_eq!(b.len() as u64, factorial(n));
+        assert!(hamiltonian::is_hamiltonian_cycle(n, a.vertices()));
+        assert!(hamiltonian::is_hamiltonian_cycle(n, &b));
+    }
+}
+
+#[test]
+fn laceability_feeds_verification() {
+    use star_rings::fault::FaultSet;
+    use star_rings::perm::Perm;
+    use star_rings::verify::check_path;
+    let u = Perm::identity(6);
+    let v = Perm::from_digits(6, 653421);
+    if u.parity() != v.parity() {
+        let path = hamiltonian::hamiltonian_path(6, &u, &v).unwrap();
+        check_path(6, &path, &FaultSet::empty(6)).unwrap();
+        assert_eq!(path.len() as u64, factorial(6));
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration tests for the `star-rings` CLI binary, driven through the
+//! real executable (`CARGO_BIN_EXE_star-rings`).
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_star-rings"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn info_reports_topology() {
+    let out = run(&["info", "6"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("720"));
+    assert!(text.contains("fault budget (n-3)  3"));
+}
+
+#[test]
+fn embed_verify_roundtrip() {
+    let dir = std::env::temp_dir().join("star-rings-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ring_path = dir.join("ring.txt");
+
+    let out = run(&["embed", "5", "--random", "2", "--seed", "9", "--print"]);
+    assert!(out.status.success(), "embed failed: {}", stderr(&out));
+    assert!(stderr(&out).contains("116 / 120"));
+    std::fs::write(&ring_path, stdout(&out)).unwrap();
+
+    // Verifying against no faults still checks structure.
+    let out = run(&["verify", "5", ring_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("valid healthy ring of 116"));
+}
+
+#[test]
+fn verify_rejects_corrupted_ring() {
+    let dir = std::env::temp_dir().join("star-rings-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.txt");
+    // Two non-adjacent vertices.
+    std::fs::write(&path, "12345\n54321\n21345\n").unwrap();
+    let out = run(&["verify", "5", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("INVALID"));
+}
+
+#[test]
+fn explicit_faults_are_avoided() {
+    let out = run(&["embed", "5", "--fault", "21345", "--print"]);
+    assert!(out.status.success());
+    assert!(!stdout(&out).lines().any(|l| l.trim() == "21345"));
+    assert!(stderr(&out).contains("118 / 120"));
+}
+
+#[test]
+fn budget_violation_is_a_clean_error() {
+    let out = run(&["embed", "5", "--random", "5"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("exceed"));
+}
+
+#[test]
+fn malformed_inputs_error_without_panicking() {
+    for bad in [
+        vec!["embed"],
+        vec!["embed", "99"],
+        vec!["embed", "5", "--fault", "11111"],
+        vec!["embed", "5", "--fault", "123"],
+        vec!["embed", "5", "--bogus"],
+        vec!["verify", "5"],
+        vec!["frobnicate"],
+    ] {
+        let out = run(&bad);
+        assert!(!out.status.success(), "{bad:?} should fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("error:") || err.contains("USAGE"),
+            "{bad:?} -> {err}"
+        );
+        assert!(!err.contains("panicked"), "{bad:?} panicked: {err}");
+    }
+}
+
+#[test]
+fn degrade_prints_timeline() {
+    let out = run(&["degrade", "5", "--failures", "2", "--seed", "1"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("boot: ring of 120"));
+    assert_eq!(text.matches("fail ").count(), 2);
+    assert!(text.contains("ring 116"));
+}
+
+#[test]
+fn certificate_roundtrip_and_tamper_detection() {
+    let dir = std::env::temp_dir().join("star-rings-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cert_path = dir.join("ring.cert");
+
+    let out = run(&["certify", "5", "--random", "2", "--seed", "3"]);
+    assert!(out.status.success());
+    std::fs::write(&cert_path, stdout(&out)).unwrap();
+
+    let out = run(&["verify-cert", cert_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("certificate OK: ring of 116 in S_5"));
+    assert!(stdout(&out).contains("at paper guarantee: true"));
+
+    // Tamper with the checksum line.
+    let tampered = std::fs::read_to_string(&cert_path)
+        .unwrap()
+        .lines()
+        .map(|l| {
+            if l.starts_with("checksum") {
+                "checksum 0000000000000000".to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let bad_path = dir.join("bad.cert");
+    std::fs::write(&bad_path, tampered).unwrap();
+    let out = run(&["verify-cert", bad_path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("checksum"));
+}
+
+#[test]
+fn dot_output_is_graphviz() {
+    let out = run(&["dot", "4", "--fault", "2134"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("graph ring4 {"));
+    assert!(text.contains("penwidth=2.5"));
+    assert!(text.contains("fillcolor=\"#d62728\""));
+    assert!(text.trim_end().ends_with('}'));
+}
+
+#[test]
+fn help_is_shown_without_args() {
+    let out = run(&[]);
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}

@@ -1,0 +1,77 @@
+//! Cross-crate property tests: Theorem 1 as a property over random fault
+//! configurations, checked end-to-end with the independent verifier.
+
+use proptest::prelude::*;
+use star_rings::fault::{gen, FaultSet};
+use star_rings::perm::{factorial, Perm};
+use star_rings::ring::{embed_longest_ring, mixed};
+use star_rings::verify::{bounds, check_ring};
+
+/// Strategy: (n, fault set) with |F_v| <= n-3 drawn from explicit ranks so
+/// proptest shrinks toward small, reportable cases.
+fn arb_vertex_faults() -> impl Strategy<Value = (usize, FaultSet)> {
+    (4usize..=7).prop_flat_map(|n| {
+        let budget = n - 3;
+        proptest::collection::btree_set(0..factorial(n) as u32, 0..=budget).prop_map(move |ranks| {
+            let faults =
+                FaultSet::from_vertices(n, ranks.iter().map(|&r| Perm::unrank(n, r).unwrap()))
+                    .expect("distinct ranks");
+            (n, faults)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem1_holds_for_arbitrary_fault_sets((n, faults) in arb_vertex_faults()) {
+        let ring = embed_longest_ring(n, &faults).expect("within budget");
+        prop_assert_eq!(
+            ring.len() as u64,
+            bounds::hsieh_chen_ho_length(n, faults.vertex_fault_count())
+        );
+        prop_assert!(check_ring(n, ring.vertices(), &faults).is_ok());
+    }
+
+    #[test]
+    fn mixed_embedding_never_beats_or_misses_the_bound(
+        (n, faults) in arb_vertex_faults(),
+        fe_seed in 0u64..1000,
+    ) {
+        // Add edge faults up to the remaining budget.
+        let fv = faults.vertex_fault_count();
+        let fe = (n - 3) - fv;
+        prop_assume!(fe > 0);
+        let mut mixed_faults = faults.clone();
+        let mut rng_state = fe_seed;
+        while mixed_faults.edge_fault_count() < fe {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let rank = (rng_state >> 16) % factorial(n);
+            let u = Perm::unrank(n, rank as u32).unwrap();
+            let d = 1 + ((rng_state >> 40) as usize % (n - 1));
+            let v = u.star_move(d);
+            if mixed_faults.is_vertex_faulty(&u) || mixed_faults.is_vertex_faulty(&v) {
+                continue;
+            }
+            let _ = mixed_faults.add_edge(star_rings::graph::Edge::new(u, v).unwrap());
+        }
+        let ring = mixed::embed_with_mixed_faults(n, &mixed_faults).expect("within budget");
+        prop_assert_eq!(ring.len() as u64, factorial(n) - 2 * fv as u64);
+        prop_assert!(check_ring(n, ring.vertices(), &mixed_faults).is_ok());
+    }
+
+    #[test]
+    fn generated_fault_sets_respect_their_contracts(
+        n in 5usize..=8,
+        fv in 1usize..=4,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(fv <= n - 3);
+        let w = gen::worst_case_same_partite(n, fv, star_rings::perm::Parity::Even, seed).unwrap();
+        prop_assert!(w.vertices().iter().all(|v| v.parity().is_even()));
+        let c = gen::clustered_in_substar(n, fv.min(2), 2, seed).unwrap();
+        let cluster = star_rings::baselines::latifi::minimal_cluster(n, &c).unwrap();
+        prop_assert!(cluster.r() <= 2 || c.vertex_fault_count() == 1);
+    }
+}

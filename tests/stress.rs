@@ -1,0 +1,118 @@
+//! Stress conformance: wide randomized sweeps of the full pipeline.
+//!
+//! The bounded variants run in the normal suite (a few seconds in
+//! release); the `#[ignore]`d variants are the heavy regression sweeps
+//! (`cargo test --release -- --ignored`), matching the harness described
+//! in `.claude/skills/verify/SKILL.md`.
+
+use star_rings::fault::{gen, FaultSet};
+use star_rings::perm::{factorial, Parity};
+use star_rings::ring::embed_longest_ring;
+use star_rings::sim::parallel::sweep;
+use star_rings::verify::check_ring;
+
+fn exercise(n: usize, fv: usize, placement: &str, seed: u64) {
+    let faults: FaultSet = match placement {
+        "worst" => gen::worst_case_same_partite(n, fv, Parity::Even, seed).unwrap(),
+        "clustered" => {
+            let m = (2..=n).find(|&m| factorial(m) >= fv as u64).unwrap();
+            gen::clustered_in_substar(n, fv, m, seed).unwrap()
+        }
+        _ => gen::random_vertex_faults(n, fv, seed).unwrap(),
+    };
+    let ring = embed_longest_ring(n, &faults)
+        .unwrap_or_else(|e| panic!("n={n} fv={fv} {placement} seed={seed}: {e}"));
+    assert_eq!(
+        ring.len() as u64,
+        factorial(n) - 2 * fv as u64,
+        "n={n} fv={fv} {placement} seed={seed}"
+    );
+    check_ring(n, ring.vertices(), &faults)
+        .unwrap_or_else(|e| panic!("n={n} fv={fv} {placement} seed={seed}: {e}"));
+}
+
+#[test]
+fn bounded_conformance_sweep() {
+    let mut configs = Vec::new();
+    for n in 4..=7usize {
+        for fv in 0..=(n - 3) {
+            for placement in ["worst", "clustered", "random"] {
+                for seed in 100..104u64 {
+                    configs.push((n, fv, placement, seed));
+                }
+            }
+        }
+    }
+    sweep(configs, |&(n, fv, placement, seed)| {
+        exercise(n, fv, placement, seed)
+    });
+}
+
+#[test]
+#[ignore = "heavy: ~40 seeds x all placements x n=4..8; run with --ignored"]
+fn heavy_conformance_sweep() {
+    let mut configs = Vec::new();
+    for n in 4..=8usize {
+        for fv in 0..=(n - 3) {
+            for placement in ["worst", "clustered", "random"] {
+                for seed in 0..40u64 {
+                    configs.push((n, fv, placement, seed));
+                }
+            }
+        }
+    }
+    sweep(configs, |&(n, fv, placement, seed)| {
+        exercise(n, fv, placement, seed)
+    });
+}
+
+#[test]
+#[ignore = "heavy: mixed vertex+edge sweep; run with --ignored"]
+fn heavy_mixed_sweep() {
+    use star_rings::ring::mixed::embed_with_mixed_faults;
+    let mut configs = Vec::new();
+    for n in 5..=7usize {
+        let budget = n - 3;
+        for fv in 0..=budget {
+            for seed in 0..40u64 {
+                configs.push((n, fv, budget - fv, seed));
+            }
+        }
+    }
+    sweep(configs, |&(n, fv, fe, seed)| {
+        let faults = gen::mixed_faults(n, fv, fe, seed).unwrap();
+        let ring = embed_with_mixed_faults(n, &faults)
+            .unwrap_or_else(|e| panic!("n={n} fv={fv} fe={fe} seed={seed}: {e}"));
+        assert_eq!(ring.len() as u64, factorial(n) - 2 * fv as u64);
+        check_ring(n, ring.vertices(), &faults).unwrap();
+    });
+}
+
+#[test]
+fn chaos_workload_survives_attack_schedules() {
+    use star_rings::fault::schedule;
+    use star_rings::sim::chaos::token_ring_under_failures;
+    for n in [6usize, 7] {
+        let budget = n - 3;
+        for (label, sched) in [
+            ("random", schedule::random_schedule(n, budget, 3).unwrap()),
+            (
+                "spreading",
+                schedule::spreading_failure(n, budget, 3).unwrap(),
+            ),
+            (
+                "partite",
+                schedule::partite_attack(n, budget, Parity::Even, 3).unwrap(),
+            ),
+        ] {
+            let report = token_ring_under_failures(n, &sched, 6)
+                .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+            assert_eq!(report.unabsorbed_failures, 0, "{label} n={n}");
+            assert_eq!(
+                report.laps.last().unwrap().slots as u64,
+                factorial(n) - 2 * budget as u64,
+                "{label} n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end integration of the whole pipeline: fault generation ->
+//! embedding -> independent verification -> bound comparison, across
+//! dimensions, budgets, and placements.
+
+use star_rings::fault::{gen, FaultSet};
+use star_rings::perm::{factorial, Parity, Perm};
+use star_rings::ring::{embed_longest_ring, EmbedError};
+use star_rings::verify::{bounds, check_ring, invariants};
+
+fn assert_theorem(n: usize, faults: &FaultSet) {
+    let ring = embed_longest_ring(n, faults)
+        .unwrap_or_else(|e| panic!("embedding failed for n={n}, faults={faults:?}: {e}"));
+    assert_eq!(
+        ring.len() as u64,
+        bounds::hsieh_chen_ho_length(n, faults.vertex_fault_count()),
+        "ring length must match Theorem 1"
+    );
+    check_ring(n, ring.vertices(), faults).expect("independent verification");
+}
+
+#[test]
+fn theorem1_random_placements() {
+    for n in 4..=8 {
+        for fv in 0..=(n - 3) {
+            for seed in 0..8 {
+                assert_theorem(n, &gen::random_vertex_faults(n, fv, seed).unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem1_worst_case_both_sides() {
+    for n in 4..=8 {
+        let fv = n - 3;
+        for parity in [Parity::Even, Parity::Odd] {
+            for seed in 0..4 {
+                assert_theorem(
+                    n,
+                    &gen::worst_case_same_partite(n, fv, parity, seed).unwrap(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem1_adversarial_neighborhoods() {
+    for n in 5..=8 {
+        for fv in 1..=(n - 3) {
+            assert_theorem(n, &gen::adversarial_neighborhood(n, fv).unwrap());
+        }
+    }
+}
+
+#[test]
+fn theorem1_clustered() {
+    for n in 5..=8 {
+        for m in 2..n {
+            let fv = (n - 3).min(factorial(m) as usize);
+            for seed in 0..3 {
+                assert_theorem(n, &gen::clustered_in_substar(n, fv, m, seed).unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem1_n9_spot_checks() {
+    // One full-budget run at n = 9 (362880 vertices) keeps the large-n path
+    // honest without dominating test time.
+    let faults = gen::worst_case_same_partite(9, 6, Parity::Even, 0).unwrap();
+    assert_theorem(9, &faults);
+}
+
+#[test]
+fn super_ring_invariants_hold_in_pipeline() {
+    use star_rings::ring::{hierarchy, positions};
+    for n in [6usize, 7] {
+        for seed in 0..6 {
+            let faults = gen::random_vertex_faults(n, n - 3, seed).unwrap();
+            let plan = positions::select_positions(n, &faults).unwrap();
+            let r4 = hierarchy::build_r4(n, &faults, &plan).unwrap();
+            let report = invariants::check_super_ring(&r4, &faults);
+            assert!(
+                report.all_hold(),
+                "P1/P2/P3 for n={n} seed={seed}: {report:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seam_discipline_is_necessary_for_p2() {
+    // Ablation: refine the clique ring with *naive* clique paths (entry,
+    // then symbols in sorted order, then exit) instead of the paper's
+    // first-two/last-two connectivity rule. The resulting super-ring is a
+    // valid ring of sub-stars, but property (P2) — which Lemma 7's
+    // vertex-level geometry depends on — generally fails.
+    use star_rings::graph::{partition, Pattern, SuperRing};
+    let n = 6;
+    let blocks = partition::i_partition(&Pattern::full(n), 1).unwrap();
+    // One fixed seam symbol chain around the K_6 ring (any valid choice).
+    let len = blocks.len();
+    let mut seams: Vec<u8> = Vec::new();
+    for k in 0..len {
+        let a = &blocks[k];
+        let b = &blocks[(k + 1) % len];
+        let common: Vec<u8> = a
+            .free_symbols()
+            .intersection(&b.free_symbols())
+            .iter()
+            .collect();
+        let prev = seams.last().copied();
+        // Each block needs entry != exit, including around the wrap.
+        let first = if k == len - 1 {
+            seams.first().copied()
+        } else {
+            None
+        };
+        let w = common
+            .iter()
+            .copied()
+            .find(|&w| Some(w) != prev && Some(w) != first)
+            .unwrap();
+        seams.push(w);
+    }
+    // Naive internal paths: [entry, rest sorted ascending, exit].
+    let mut refined: Vec<Pattern> = Vec::new();
+    for k in 0..len {
+        let a = &blocks[k];
+        let w_in = seams[(k + len - 1) % len];
+        let w_out = seams[k];
+        let mut middle: Vec<u8> = a
+            .free_symbols()
+            .iter()
+            .filter(|&s| s != w_in && s != w_out)
+            .collect();
+        middle.sort_unstable();
+        refined.push(a.sub(2, w_in).unwrap());
+        for s in middle {
+            refined.push(a.sub(2, s).unwrap());
+        }
+        refined.push(a.sub(2, w_out).unwrap());
+    }
+    let ring = SuperRing::new(refined).expect("still a structurally valid super-ring");
+    assert!(
+        !ring.satisfies_p2(),
+        "naive clique paths should violate (P2) somewhere on a K_6 refinement"
+    );
+}
+
+#[test]
+fn embed_matches_exhaustive_optimum_for_every_single_fault_n4() {
+    use star_rings::verify::exhaustive::longest_healthy_cycle;
+    for rank in 0..24u32 {
+        let f = Perm::unrank(4, rank).unwrap();
+        let faults = FaultSet::from_vertices(4, [f]).unwrap();
+        let ours = embed_longest_ring(4, &faults).unwrap();
+        let best = longest_healthy_cycle(4, &faults, u64::MAX);
+        assert!(best.optimal);
+        assert_eq!(ours.len(), best.cycle.len(), "fault {f}");
+    }
+}
+
+#[test]
+fn graceful_errors() {
+    // Budget exceeded.
+    let too_many = gen::random_vertex_faults(6, 4, 0).unwrap();
+    assert!(matches!(
+        embed_longest_ring(6, &too_many),
+        Err(EmbedError::TooManyFaults { budget: 3, .. })
+    ));
+    // A fault on every vertex of S_3's budget (0).
+    let one = FaultSet::from_vertices(3, [Perm::identity(3)]).unwrap();
+    assert!(embed_longest_ring(3, &one).is_err());
+}
+
+#[test]
+fn deterministic_output() {
+    // Same inputs -> identical ring (no hidden nondeterminism).
+    let faults = gen::random_vertex_faults(6, 3, 11).unwrap();
+    let a = embed_longest_ring(6, &faults).unwrap();
+    let b = embed_longest_ring(6, &faults).unwrap();
+    assert_eq!(a, b);
+}
