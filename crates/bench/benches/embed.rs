@@ -67,11 +67,44 @@ fn bench_local_repair(c: &mut Criterion) {
     });
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    // Instrumentation cost at the largest practical size: the same embed
+    // with star-obs fully off, with the default metrics counters, and
+    // with span tracing into a ring-buffer sink. The "disabled" row is
+    // the pre-instrumentation baseline.
+    let n = 9usize;
+    let fv = n - 3;
+    let faults = gen::worst_case_same_partite(n, fv, Parity::Even, 42).unwrap();
+    let opts = EmbedOptions {
+        verify: false,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("embed/obs-overhead");
+    group.throughput(Throughput::Elements(factorial(n) - 2 * fv as u64));
+    star_obs::set_metrics_enabled(false);
+    group.bench_function("n=9/disabled", |b| {
+        b.iter(|| embed_with_options(black_box(n), black_box(&faults), &opts).unwrap())
+    });
+    star_obs::set_metrics_enabled(true);
+    group.bench_function("n=9/metrics", |b| {
+        b.iter(|| embed_with_options(black_box(n), black_box(&faults), &opts).unwrap())
+    });
+    star_obs::add_sink(std::sync::Arc::new(star_obs::RingBufferSink::new(64)));
+    star_obs::set_trace_enabled(true);
+    group.bench_function("n=9/trace", |b| {
+        b.iter(|| embed_with_options(black_box(n), black_box(&faults), &opts).unwrap())
+    });
+    star_obs::set_trace_enabled(false);
+    star_obs::clear_sinks();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_embed_full_budget,
     bench_embed_fault_free,
     bench_verification_overhead,
-    bench_local_repair
+    bench_local_repair,
+    bench_obs_overhead
 );
 criterion_main!(benches);

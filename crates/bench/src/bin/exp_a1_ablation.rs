@@ -14,6 +14,10 @@ use star_ring::{expand, hierarchy, positions};
 use star_sim::parallel::sweep;
 
 fn main() {
+    star_bench::run_experiment("a1_ablation", run);
+}
+
+fn run() {
     let mut table = Table::new(
         "A1: identical R^4, different faulty-block routing (loss 2 vs 4)",
         &[

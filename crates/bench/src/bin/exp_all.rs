@@ -17,6 +17,10 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn main() {
+    star_bench::run_experiment("all", run);
+}
+
+fn run() {
     // The sibling binaries live next to this one.
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("binary directory");

@@ -25,6 +25,10 @@ fn make_faults(n: usize, fv: usize, placement: &str, seed: u64) -> FaultSet {
 }
 
 fn main() {
+    star_bench::run_experiment("e1_ring_length", run);
+}
+
+fn run() {
     let mut table = Table::new(
         "E1: ring length = n! - 2|Fv| (Theorem 1), all rings verified",
         &[

@@ -15,6 +15,10 @@ use star_verify::bounds;
 use star_verify::exhaustive::longest_healthy_cycle;
 
 fn main() {
+    star_bench::run_experiment("e2_optimality", run);
+}
+
+fn run() {
     // Layer 1: n = 4 exhaustive over all 24 fault positions.
     let mut t1 = Table::new(
         "E2a: S_4 exhaustive — optimum vs Theorem 1 for every single fault",

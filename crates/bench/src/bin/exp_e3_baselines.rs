@@ -10,6 +10,10 @@ use star_ring::embed_longest_ring;
 use star_sim::parallel::sweep;
 
 fn main() {
+    star_bench::run_experiment("e3_baselines", run);
+}
+
+fn run() {
     // (a) Random fault sets: ours vs Tseng.
     let mut ta = Table::new(
         "E3a: random faults — paper (n!-2f) vs Tseng baseline (n!-4f)",

@@ -12,6 +12,10 @@ use star_perm::{factorial, Parity};
 use star_ring::{embed_with_options, EmbedOptions};
 
 fn main() {
+    star_bench::run_experiment("e4_scaling", run);
+}
+
+fn run() {
     let mut table = Table::new(
         "E4: embedding cost vs n (full fault budget, verification off)",
         &["n", "n!", "|Fv|", "ring length", "time (ms)", "ns/vertex"],

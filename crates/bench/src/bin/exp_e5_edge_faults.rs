@@ -13,6 +13,10 @@ use star_verify::check_ring;
 const SEEDS: u64 = 3;
 
 fn main() {
+    star_bench::run_experiment("e5_edge_faults", run);
+}
+
+fn run() {
     let mut table = Table::new(
         "E5: edge faults cost nothing — ring length n! with |Fe| <= n-3",
         &[

@@ -12,6 +12,10 @@ use star_verify::check_ring;
 const SEEDS: u64 = 3;
 
 fn main() {
+    star_bench::run_experiment("e6_mixed", run);
+}
+
+fn run() {
     let mut table = Table::new(
         "E6: mixed faults — ring length n! - 2|Fv| for every budget split",
         &[

@@ -8,6 +8,10 @@ use star_sim::run::{simulate, MappingKind};
 use star_sim::workload::{Gossip, PipelineReduce, TokenRing, Workload};
 
 fn main() {
+    star_bench::run_experiment("e7_simulation", run);
+}
+
+fn run() {
     let n = 7;
     let fv = n - 3;
     let faults = gen::random_vertex_faults(n, fv, 11).unwrap();

@@ -9,6 +9,10 @@ use star_perm::factorial;
 use star_sim::resilience::degrade;
 
 fn main() {
+    star_bench::run_experiment("e8_resilience", run);
+}
+
+fn run() {
     let mut table = Table::new(
         "E8: incremental degradation — re-embed after every failure",
         &[

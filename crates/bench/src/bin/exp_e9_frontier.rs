@@ -21,6 +21,10 @@ use star_sim::parallel::sweep;
 const TRIALS: u64 = 10;
 
 fn main() {
+    star_bench::run_experiment("e9_frontier", run);
+}
+
+fn run() {
     // Vertex faults via incremental local repair.
     let mut t1 = Table::new(
         "E9a: sustaining 2-per-fault loss beyond the n-3 vertex budget",

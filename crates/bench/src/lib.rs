@@ -69,10 +69,7 @@ impl Table {
     /// Writes the table as CSV under `target/experiments/<slug>.csv` and
     /// returns the path.
     pub fn write_csv(&self, slug: &str) -> std::io::Result<PathBuf> {
-        let dir = PathBuf::from(
-            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-        )
-        .join("experiments");
+        let dir = experiments_dir();
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{slug}.csv"));
         let mut f = fs::File::create(&path)?;
@@ -83,20 +80,105 @@ impl Table {
         Ok(path)
     }
 
-    /// Prints and persists in one call; the usual exit path of an
-    /// experiment binary.
+    /// The table as a JSON object:
+    /// `{"title":…,"headers":[…],"rows":[[…],…]}`. Cells stay strings
+    /// (they are display-formatted), so the output is schema-stable.
+    pub fn to_json(&self) -> String {
+        fn push_json_string(out: &mut String, s: &str) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => {
+                        use std::fmt::Write as _;
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        fn push_str_array(out: &mut String, items: &[String]) {
+            out.push('[');
+            for (i, s) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_string(out, s);
+            }
+            out.push(']');
+        }
+        let mut out = String::from("{\"title\":");
+        push_json_string(&mut out, &self.title);
+        out.push_str(",\"headers\":");
+        push_str_array(&mut out, &self.headers);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_array(&mut out, row);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the table as JSON under `target/experiments/<slug>.json`
+    /// and returns the path.
+    pub fn write_json(&self, slug: &str) -> std::io::Result<PathBuf> {
+        let dir = experiments_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{slug}.json"));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Prints and persists (CSV + JSON) in one call; the usual exit path
+    /// of an experiment binary.
     pub fn finish(&self, slug: &str) {
         self.print();
         match self.write_csv(slug) {
             Ok(path) => println!("  [csv: {}]", path.display()),
             Err(e) => eprintln!("  [csv write failed: {e}]"),
         }
+        match self.write_json(slug) {
+            Ok(path) => println!("  [json: {}]", path.display()),
+            Err(e) => eprintln!("  [json write failed: {e}]"),
+        }
     }
+}
+
+fn experiments_dir() -> PathBuf {
+    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+        .join("experiments")
 }
 
 /// Formats a ratio as a percentage with one decimal.
 pub fn pct(num: u64, den: u64) -> String {
     format!("{:.2}%", 100.0 * num as f64 / den as f64)
+}
+
+/// Experiment-binary entry point wrapper: runs `body` under a
+/// `bench.experiment` span and, when `STAR_OBS_STATS` is set in the
+/// environment, prints the accumulated star-obs metrics (pretty table,
+/// or Prometheus text with `STAR_OBS_STATS=prom`, JSON with
+/// `STAR_OBS_STATS=json`) to stderr on exit.
+pub fn run_experiment(name: &'static str, body: impl FnOnce()) {
+    let mut sp = star_obs::span("bench.experiment");
+    sp.record("name", name);
+    sp.hold(body);
+    star_obs::incr("bench.experiments", 1);
+    match std::env::var("STAR_OBS_STATS").ok().as_deref() {
+        None | Some("") | Some("0") => {}
+        Some("prom") => eprint!("{}", star_obs::snapshot().to_prometheus()),
+        Some("json") => eprintln!("{}", star_obs::snapshot().to_json()),
+        Some(_) => eprint!(
+            "\n-- star-obs metrics ({name}) --\n{}",
+            star_obs::snapshot()
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +205,19 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(714, 720), "99.17%");
+    }
+
+    #[test]
+    fn json_mirrors_csv() {
+        let mut t = Table::new("demo \"quoted\"", &["a", "bb"]);
+        t.row(&[1, 22]);
+        t.row(&[333, 4]);
+        assert_eq!(
+            t.to_json(),
+            "{\"title\":\"demo \\\"quoted\\\"\",\"headers\":[\"a\",\"bb\"],\
+             \"rows\":[[\"1\",\"22\"],[\"333\",\"4\"]]}"
+        );
+        let path = t.write_json("unit-test-demo-json").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), t.to_json());
     }
 }

@@ -81,28 +81,58 @@ pub fn embed_with_options(
         });
     }
 
-    let vertices = match n {
-        3 => small_n::embed_n3(faults)?,
-        4 => small_n::embed_n4(faults)?,
-        5 => small_n::embed_n5_with(faults, opts.spare_index, opts.salt)?,
-        _ => {
-            let plan = positions::select_positions(n, faults)?;
-            let r4 = hierarchy::build_r4(n, faults, &plan)?;
-            let spare = plan.spare[opts.spare_index % plan.spare.len()];
-            expand::expand_with_salt(&r4, faults, spare, opts.salt)?
+    let mut root = star_obs::span("embed");
+    root.record("n", n);
+    root.record("faults", faults.vertex_fault_count());
+
+    let embed = || -> Result<EmbeddedRing, EmbedError> {
+        let vertices = match n {
+            3 => star_obs::span("embed.expand").hold(|| small_n::embed_n3(faults))?,
+            4 => star_obs::span("embed.expand").hold(|| small_n::embed_n4(faults))?,
+            5 => star_obs::span("embed.expand")
+                .hold(|| small_n::embed_n5_with(faults, opts.spare_index, opts.salt))?,
+            _ => {
+                let mut sp = star_obs::span("embed.positions");
+                let plan = positions::select_positions(n, faults)?;
+                sp.record("sequence", plan.sequence.as_slice());
+                sp.record("spare", plan.spare.as_slice());
+                drop(sp);
+                let r4 = star_obs::span("embed.hierarchy")
+                    .hold(|| hierarchy::build_r4(n, faults, &plan))?;
+                let spare = plan.spare[opts.spare_index % plan.spare.len()];
+                let mut sp = star_obs::span("embed.expand");
+                sp.record("spare_pos", spare);
+                sp.record("salt", opts.salt);
+                sp.hold(|| expand::expand_with_salt(&r4, faults, spare, opts.salt))?
+            }
+        };
+
+        let ring = EmbeddedRing::new(n, vertices);
+        let expected = factorial(n) - 2 * faults.vertex_fault_count() as u64;
+        debug_assert_eq!(ring.len() as u64, expected);
+        if opts.verify {
+            let mut sp = star_obs::span("embed.verify");
+            sp.record("len", ring.len());
+            sp.hold(|| verify_ring(&ring, faults))?;
+            if ring.len() as u64 != expected {
+                return Err(EmbedError::ExpansionFailed { block: 0 });
+            }
         }
+        Ok(ring)
     };
 
-    let ring = EmbeddedRing::new(n, vertices);
-    let expected = factorial(n) - 2 * faults.vertex_fault_count() as u64;
-    debug_assert_eq!(ring.len() as u64, expected);
-    if opts.verify {
-        verify_ring(&ring, faults)?;
-        if ring.len() as u64 != expected {
-            return Err(EmbedError::ExpansionFailed { block: 0 });
+    let result = embed();
+    match &result {
+        Ok(ring) => {
+            root.record("len", ring.len());
+            star_obs::incr("embed.success", 1);
+        }
+        Err(_) => {
+            root.record("error", 1u64);
+            star_obs::incr("embed.error", 1);
         }
     }
-    Ok(ring)
+    result
 }
 
 /// Internal verification: simple + healthy + cyclically adjacent. (The

@@ -127,12 +127,38 @@ pub fn expand_structured(
     // Two candidate starting vertices; Lemma 5 gives exactly two cross
     // vertices in the entry 3-vertex of block 0, one per parity.
     let first_entries = entry_candidates(&plans);
-    for x0 in first_entries {
+    for (attempt, x0) in first_entries.into_iter().enumerate() {
         if let Some(segments) = assemble(&plans, faults, &x0, faulty_block_loss) {
+            record_block_counters(&segments, attempt);
             return Ok(segments);
         }
     }
     Err(EmbedError::ExpansionFailed { block: 0 })
+}
+
+/// Cached star-obs counters for the per-block splice: `expand.block.healthy`,
+/// `expand.block.faulty` (blocks traversed by kind) and `expand.retry`
+/// (assemblies that needed the second entry candidate).
+fn record_block_counters(segments: &[BlockSegment], attempt: usize) {
+    static COUNTERS: std::sync::OnceLock<(
+        star_obs::Counter,
+        star_obs::Counter,
+        star_obs::Counter,
+    )> = std::sync::OnceLock::new();
+    let (healthy_ctr, faulty_ctr, retry_ctr) = COUNTERS.get_or_init(|| {
+        (
+            star_obs::counter("expand.block.healthy"),
+            star_obs::counter("expand.block.faulty"),
+            star_obs::counter("expand.retry"),
+        )
+    });
+    let healthy = segments
+        .iter()
+        .filter(|s| s.path.len() == oracle::HEALTHY_BLOCK_VERTICES)
+        .count() as u64;
+    healthy_ctr.incr(healthy);
+    faulty_ctr.incr(segments.len() as u64 - healthy);
+    retry_ctr.incr(attempt as u64);
 }
 
 /// The two vertices of block 0's entry 3-vertex that are adjacent to the

@@ -204,10 +204,20 @@ fn rotate_to_fault_free_start(ring: &SuperRing, faults: &FaultSet) -> SuperRing 
 pub fn build_r4(n: usize, faults: &FaultSet, plan: &PositionPlan) -> Result<SuperRing, EmbedError> {
     debug_assert!(n >= 6);
     debug_assert_eq!(plan.sequence.len(), n - 4);
+    let mut sp = star_obs::span("embed.hierarchy.level");
+    sp.record("position", plan.sequence[0]);
     let mut ring = initial_ring(n, plan.sequence[0])?;
+    sp.record("order", ring.r());
+    sp.record("supervertices", ring.len());
+    drop(sp);
     for (idx, &pos) in plan.sequence.iter().enumerate().skip(1) {
         let fault_aware = idx == plan.sequence.len() - 1;
+        let mut sp = star_obs::span("embed.hierarchy.level");
+        sp.record("position", pos);
+        sp.record("fault_aware", u64::from(fault_aware));
         ring = refine(&ring, pos, faults, fault_aware)?;
+        sp.record("order", ring.r());
+        sp.record("supervertices", ring.len());
     }
     Ok(ring)
 }

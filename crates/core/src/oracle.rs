@@ -41,16 +41,50 @@ struct OracleState {
     memo: RwLock<HashMap<Key, Option<Vec<u8>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Mirrors of `hits`/`misses` in the star-obs registry (`oracle.hit`,
+    /// `oracle.miss`) plus the canonical-search latency histogram
+    /// (`oracle.build`), resolved once.
+    obs_hit: star_obs::Counter,
+    obs_miss: star_obs::Counter,
+    obs_build: star_obs::Hist,
 }
 
-/// Lifetime cache counters `(hits, misses)` of the canonical-query memo.
+/// A consistent reading of the canonical-query memo's lifetime counters.
 /// Callers diff two readings to attribute cost to one embed.
-pub fn cache_stats() -> (u64, u64) {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Memoized queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran the exact search.
+    pub misses: u64,
+    /// Distinct canonical queries currently memoized (gauge; bounded by
+    /// `24 * 24 * 25`).
+    pub entries: usize,
+}
+
+/// Lifetime cache statistics of the canonical-query memo, read as one
+/// consistent snapshot: the counters are re-read until a pass observes no
+/// concurrent movement, so `hits` and `misses` always belong to the same
+/// instant (the old tuple API could tear between the two loads).
+pub fn cache_stats() -> CacheStats {
     let st = state();
-    (
-        st.hits.load(Ordering::Relaxed),
-        st.misses.load(Ordering::Relaxed),
-    )
+    loop {
+        let hits = st.hits.load(Ordering::Acquire);
+        let misses = st.misses.load(Ordering::Acquire);
+        let entries = st.memo.read().len();
+        if st.hits.load(Ordering::Acquire) == hits && st.misses.load(Ordering::Acquire) == misses {
+            return CacheStats {
+                hits,
+                misses,
+                entries,
+            };
+        }
+    }
+}
+
+/// Number of memoized canonical queries (the `entries` gauge alone).
+pub fn entries() -> usize {
+    state().memo.read().len()
 }
 
 fn state() -> &'static OracleState {
@@ -60,6 +94,9 @@ fn state() -> &'static OracleState {
         memo: RwLock::new(HashMap::new()),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
+        obs_hit: star_obs::counter("oracle.hit"),
+        obs_miss: star_obs::counter("oracle.miss"),
+        obs_build: star_obs::histogram("oracle.build"),
     })
 }
 
@@ -71,18 +108,21 @@ fn canonical_path(entry: u8, exit: u8, fault: Option<u8>) -> Option<Vec<u8>> {
     let st = state();
     if let Some(hit) = st.memo.read().get(&key) {
         st.hits.fetch_add(1, Ordering::Relaxed);
+        st.obs_hit.incr(1);
         return hit.clone();
     }
     st.misses.fetch_add(1, Ordering::Relaxed);
+    st.obs_miss.incr(1);
     let mut blocked = vec![false; 24];
     let mut target = HEALTHY_BLOCK_VERTICES;
     if let Some(f) = fault {
         blocked[f as usize] = true;
         target = FAULTY_BLOCK_VERTICES;
     }
-    let (found, _) =
+    let (found, _) = st.obs_build.time(|| {
         st.graph
-            .path_with_exact_count(entry as u16, exit as u16, &blocked, target, u64::MAX);
+            .path_with_exact_count(entry as u16, exit as u16, &blocked, target, u64::MAX)
+    });
     let result = found.map(|p| p.into_iter().map(|x| x as u8).collect::<Vec<u8>>());
     st.memo.write().insert(key, result.clone());
     result

@@ -128,6 +128,27 @@ impl MaintainedRing {
     /// Errors if `v` is already faulty, or if neither local nor global
     /// repair can produce a valid ring (beyond-budget exhaustion).
     pub fn fail(&mut self, v: Perm) -> Result<RepairOutcome, EmbedError> {
+        let mut sp = star_obs::span("repair");
+        let result = self.fail_inner(v);
+        match &result {
+            Ok(RepairOutcome::Local { block }) => {
+                sp.record("outcome", "local");
+                sp.record("block", *block);
+                star_obs::incr("repair.local", 1);
+            }
+            Ok(RepairOutcome::Global) => {
+                sp.record("outcome", "global");
+                star_obs::incr("repair.global", 1);
+            }
+            Err(_) => {
+                sp.record("outcome", "error");
+                star_obs::incr("repair.error", 1);
+            }
+        }
+        result
+    }
+
+    fn fail_inner(&mut self, v: Perm) -> Result<RepairOutcome, EmbedError> {
         if v.n() != self.n {
             return Err(EmbedError::DimensionMismatch);
         }
@@ -310,9 +331,7 @@ mod tests {
         let ring = mr.ring();
         let vs = ring.vertices();
         for i in 0..vs.len() {
-            assert!(!mr
-                .faults()
-                .is_edge_faulty(&vs[i], &vs[(i + 1) % vs.len()]));
+            assert!(!mr.faults().is_edge_faulty(&vs[i], &vs[(i + 1) % vs.len()]));
         }
     }
 

@@ -66,7 +66,11 @@ pub fn embed_n5_with(
     salt: usize,
 ) -> Result<Vec<Perm>, EmbedError> {
     debug_assert!(faults.vertex_fault_count() <= 2);
+    let mut sp = star_obs::span("embed.positions");
     let plan = select_positions(5, faults)?;
+    sp.record("sequence", plan.sequence.as_slice());
+    sp.record("spare", plan.spare.as_slice());
+    drop(sp);
     // The salt also varies the partition position among the valid choices
     // (any position separating the fault pair works; the mixed embedder
     // retries over salts to dodge awkward edge faults).

@@ -1,0 +1,210 @@
+//! Lock-free log-linear latency histograms.
+//!
+//! Values (nanoseconds) are bucketed HDR-style: 16 linear buckets below
+//! 16 ns, then 16 sub-buckets per power of two, giving a worst-case
+//! relative quantile error of `1/16` (6.25%) across the full `u64` range.
+//! Recording is three relaxed atomic RMWs plus a `fetch_max`; snapshots
+//! read the buckets relaxed (per-bucket exact, cross-bucket approximate,
+//! which is fine for percentile reporting).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: `2^SUB_BITS` minor buckets per major (power of
+/// two) bucket.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Bucket count: 16 linear + 16 per major bucket for msb in `4..=63`.
+pub(crate) const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize);
+
+/// Maps a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let minor = ((v >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
+    ((msb - SUB_BITS) as usize + 1) * SUB as usize + minor
+}
+
+/// The midpoint value a bucket index represents (inverse of
+/// [`bucket_index`], up to sub-bucket resolution).
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let major = idx / SUB as usize - 1; // shift amount
+    let minor = (idx % SUB as usize) as u64;
+    let lo = (SUB + minor) << major;
+    lo + (1u64 << major) / 2
+}
+
+/// A concurrent log-scale histogram of `u64` samples (nanoseconds by
+/// convention).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new([const { AtomicU64::new(0) }; BUCKETS]),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Thread-safe, wait-free.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes all state.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) estimated from bucket midpoints,
+    /// clamped to the observed maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return bucket_value(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time summary under `name`.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time percentile summary of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name of the histogram.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (ns).
+    pub sum: u64,
+    /// Largest sample (ns).
+    pub max: u64,
+    /// Median estimate (ns).
+    pub p50: u64,
+    /// 95th-percentile estimate (ns).
+    pub p95: u64,
+    /// 99th-percentile estimate (ns).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (ns); 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for &v in &[0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 3] {
+            let mid = bucket_value(bucket_index(v));
+            let err = mid.abs_diff(v) as f64;
+            assert!(
+                err <= (v as f64 / SUB as f64) + 1.0,
+                "v={v} mid={mid} err={err}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(0.5), 7); // ceil(0.5*16)=8th sample = value 7
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000); // 1µs .. 1ms
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        // Log-linear resolution: within 6.25% + one bucket.
+        assert!(p50.abs_diff(500_000) < 500_000 / 10, "p50={p50}");
+        assert!(p99.abs_diff(990_000) < 990_000 / 10, "p99={p99}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Point-in-time metric exports: Prometheus text, JSON, pretty text.
+
+use std::fmt;
+
+use crate::hist::HistogramSnapshot;
+use crate::json::push_json_str;
+use crate::sink::format_ns;
+
+/// A consistent view of the registry at one moment, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// Percentile summaries for every histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// `embed.expand` → `star_embed_expand` (Prometheus-legal metric name).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("star_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Prometheus text-exposition format: counters as `counter`,
+    /// histograms as `summary` quantile series (values in nanoseconds).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let pname = prom_name(name);
+            let _ = writeln!(out, "# TYPE {pname}_total counter");
+            let _ = writeln!(out, "{pname}_total {value}");
+        }
+        for h in &self.histograms {
+            let pname = prom_name(&h.name);
+            let _ = writeln!(out, "# TYPE {pname}_ns summary");
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                let _ = writeln!(out, "{pname}_ns{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{pname}_ns_sum {}", h.sum);
+            let _ = writeln!(out, "{pname}_ns_count {}", h.count);
+            let _ = writeln!(out, "{pname}_ns_max {}", h.max);
+        }
+        out
+    }
+
+    /// One JSON object: `{"counters":{…},"histograms":{…}}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, &h.name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\
+                 \"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Counter value by exact name, when present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram summary by exact name, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl fmt::Display for Snapshot {
+    /// Pretty two-section text (what `star-rings stats` prints).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            let width = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms (count / mean / p50 / p95 / p99 / max):")?;
+            let width = self
+                .histograms
+                .iter()
+                .map(|h| h.name.len())
+                .max()
+                .unwrap_or(0);
+            for h in &self.histograms {
+                writeln!(
+                    f,
+                    "  {:<width$}  {} / {} / {} / {} / {} / {}",
+                    h.name,
+                    h.count,
+                    format_ns(h.mean()),
+                    format_ns(h.p50),
+                    format_ns(h.p95),
+                    format_ns(h.p99),
+                    format_ns(h.max)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("oracle.hit".into(), 41), ("oracle.miss".into(), 1)],
+            histograms: vec![HistogramSnapshot {
+                name: "embed.expand".into(),
+                count: 3,
+                sum: 3_000,
+                max: 1_500,
+                p50: 900,
+                p95: 1_400,
+                p99: 1_500,
+            }],
+        }
+    }
+
+    #[test]
+    fn prometheus_format() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE star_oracle_hit_total counter"));
+        assert!(text.contains("star_oracle_hit_total 41"));
+        assert!(text.contains("star_embed_expand_ns{quantile=\"0.95\"} 1400"));
+        assert!(text.contains("star_embed_expand_ns_count 3"));
+    }
+
+    #[test]
+    fn json_format_is_parsable_shape() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"oracle.hit\":41"));
+        assert!(json.contains("\"embed.expand\":{\"count\":3,\"sum_ns\":3000,\"mean_ns\":1000"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn accessors_find_by_name() {
+        let s = sample();
+        assert_eq!(s.counter("oracle.hit"), Some(41));
+        assert_eq!(s.counter("nope"), None);
+        assert_eq!(s.histogram("embed.expand").unwrap().count, 3);
+    }
+
+    #[test]
+    fn display_lists_both_sections() {
+        let text = sample().to_string();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("oracle.hit"));
+        assert!(text.contains("histograms"));
+    }
+}

@@ -64,6 +64,13 @@ pub fn token_ring_under_failures(
     laps: usize,
 ) -> Result<ChaosReport, star_ring::EmbedError> {
     assert!(laps >= 1);
+    let mut sp = star_obs::span("sim.chaos");
+    sp.record("n", n);
+    sp.record("laps", laps);
+    sp.record("scheduled_failures", schedule.len());
+    let lap_ctr = star_obs::counter("sim.chaos.lap");
+    let msg_ctr = star_obs::counter("sim.chaos.messages");
+    let pause_hist = star_obs::histogram("sim.chaos.pause");
     let mut mr = MaintainedRing::new(n, &FaultSet::empty(n))?;
     // Failure arrival lap for each scheduled failure, evenly spread.
     let arrival_lap = |k: usize| -> usize { k * laps / (schedule.len() + 1) };
@@ -92,6 +99,12 @@ pub fn token_ring_under_failures(
         let slots = mr.len();
         total_work += slots as u64;
         total_pause += pause;
+        lap_ctr.incr(1);
+        // One token-ring lap passes the token over every slot once.
+        msg_ctr.incr(slots as u64);
+        if failures_before > 0 {
+            pause_hist.observe_ns(pause.as_nanos() as u64);
+        }
         laps_out.push(ChaosLap {
             lap,
             slots,
@@ -101,6 +114,8 @@ pub fn token_ring_under_failures(
             had_global_repair: had_global,
         });
     }
+    sp.record("unabsorbed", unabsorbed);
+    sp.record("total_work", total_work);
     Ok(ChaosReport {
         laps: laps_out,
         unabsorbed_failures: unabsorbed,

@@ -103,6 +103,10 @@ pub fn degrade(n: usize, failures: &[Perm]) -> Result<DegradationTimeline, star_
         verify: true,
         ..Default::default()
     };
+    let mut sp = star_obs::span("sim.degrade");
+    sp.record("n", n);
+    sp.record("failures", failures.len());
+    let pause_hist = star_obs::histogram("sim.reembed.pause");
     let mut faults = FaultSet::empty(n);
     let mut prev = embed_with_options(n, &faults, &opts)?;
     let mut steps = Vec::with_capacity(failures.len());
@@ -113,6 +117,8 @@ pub fn degrade(n: usize, failures: &[Perm]) -> Result<DegradationTimeline, star_
         let t0 = Instant::now();
         let next = embed_with_options(n, &faults, &opts)?;
         let reembed_time = t0.elapsed();
+        pause_hist.observe_ns(reembed_time.as_nanos() as u64);
+        star_obs::incr("sim.reembed", 1);
         steps.push(DegradationStep {
             faults: faults.vertex_fault_count(),
             failed: dead,
@@ -150,6 +156,10 @@ pub fn degrade_maintained(
     failures: &[Perm],
 ) -> Result<Vec<MaintainedStep>, star_ring::EmbedError> {
     use star_ring::repair::{MaintainedRing, RepairOutcome};
+    let mut sp = star_obs::span("sim.degrade_maintained");
+    sp.record("n", n);
+    sp.record("failures", failures.len());
+    let pause_hist = star_obs::histogram("sim.repair.pause");
     let mut mr = MaintainedRing::new(n, &FaultSet::empty(n))?;
     let mut steps = Vec::with_capacity(failures.len());
     for &dead in failures {
@@ -158,6 +168,7 @@ pub fn degrade_maintained(
             Ok(o) => o,
             Err(_) => break,
         };
+        pause_hist.observe_ns(t0.elapsed().as_nanos() as u64);
         steps.push(MaintainedStep {
             faults: mr.faults().vertex_fault_count(),
             failed: dead,

@@ -54,19 +54,29 @@ pub fn simulate(
     mapping: MappingKind,
     workload: &dyn Workload,
 ) -> Option<SimReport> {
+    let mut sp = star_obs::span("sim.run");
+    sp.record("n", n);
+    sp.record("workload", workload.name());
     let net = FaultyStarNetwork::new(n, faults.clone());
     let map = match mapping {
         MappingKind::EmbeddedOptimal => {
+            sp.record("mapping", "embedded_optimal");
             let ring = star_ring::embed_longest_ring(n, faults).ok()?;
             RingMapping::embedded(&net, ring.vertices())
         }
         MappingKind::EmbeddedBaseline => {
+            sp.record("mapping", "embedded_baseline");
             let ring = star_baselines::tseng_vertex::tseng_vertex_ring(n, faults).ok()?;
             RingMapping::embedded(&net, ring.vertices())
         }
-        MappingKind::NaiveByRank => RingMapping::naive_by_rank(&net),
+        MappingKind::NaiveByRank => {
+            sp.record("mapping", "naive_by_rank");
+            RingMapping::naive_by_rank(&net)
+        }
     };
-    let usage = workload.run(&map);
+    let usage = star_obs::span("sim.run.workload").hold(|| workload.run(&map));
+    star_obs::incr("sim.runs", 1);
+    star_obs::incr("sim.messages", usage.link_traversals);
     Some(SimReport {
         mapping,
         workload: workload.name(),

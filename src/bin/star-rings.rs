@@ -29,6 +29,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("info") => cmd_info(&args[1..]),
         Some("embed") => cmd_embed(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("degrade") => cmd_degrade(&args[1..]),
         Some("certify") => cmd_certify(&args[1..]),
@@ -63,6 +64,12 @@ fn usage() {
          \x20     --print            write the ring, one vertex per line, to stdout\n\
          \x20     --stats            print the construction transcript (phases, levels,\n\
          \x20                        Lemma-4 oracle cache behavior)\n\
+         \x20     --trace            stream construction spans, pretty-printed, to\n\
+         \x20                        stderr as they close\n\
+         \x20     --trace-json <f>   append construction spans to <f> as JSON lines\n\
+         \x20 star-rings stats <n> [fault options] [--format pretty|prom|json]\n\
+         \x20                                             embed once, then dump the\n\
+         \x20                                             process-wide star-obs metrics\n\
          \x20 star-rings verify <n> <ring-file> [--fault <perm>]...\n\
          \x20                                             check a ring file against faults\n\
          \x20 star-rings degrade <n> [--failures <k>] [--seed <s>]\n\
@@ -180,18 +187,79 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Tracing switches shared by `embed` and `stats`, pre-scanned before
+/// the fault options (which reject anything they don't know).
+#[derive(Default)]
+struct TraceOpts {
+    stats: bool,
+    trace: bool,
+    trace_json: Option<String>,
+    format: Option<String>,
+}
+
+/// Splits tracing/output switches off the argument list, returning them
+/// and the remaining (fault) options.
+fn parse_trace_opts(args: &[String]) -> Result<(TraceOpts, Vec<String>), String> {
+    let mut opts = TraceOpts::default();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => opts.stats = true,
+            "--trace" => opts.trace = true,
+            "--trace-json" => {
+                i += 1;
+                opts.trace_json =
+                    Some(args.get(i).ok_or("--trace-json needs a file path")?.clone());
+            }
+            "--format" => {
+                i += 1;
+                let f = args.get(i).ok_or("--format needs a value")?.clone();
+                if !matches!(f.as_str(), "pretty" | "prom" | "json") {
+                    return Err(format!("--format must be pretty, prom or json, not `{f}`"));
+                }
+                opts.format = Some(f);
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((opts, rest))
+}
+
+/// Installs the requested span sinks and turns span dispatch on.
+fn enable_tracing(opts: &TraceOpts) -> Result<(), String> {
+    use std::sync::Arc;
+    if opts.trace {
+        star_rings::obs::add_sink(Arc::new(star_rings::obs::StderrPrettySink));
+    }
+    if let Some(path) = &opts.trace_json {
+        let sink = star_rings::obs::JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+        star_rings::obs::add_sink(Arc::new(sink));
+    }
+    if opts.trace || opts.trace_json.is_some() {
+        star_rings::obs::set_trace_enabled(true);
+    }
+    Ok(())
+}
+
 fn cmd_embed(args: &[String]) -> Result<(), String> {
     let n = parse_n(args)?;
-    let stats = args.iter().any(|a| a == "--stats");
-    let rest: Vec<String> = args[1..]
-        .iter()
-        .filter(|a| *a != "--stats")
-        .cloned()
-        .collect();
+    let (opts, rest) = parse_trace_opts(&args[1..])?;
+    if opts.format.is_some() {
+        return Err("--format belongs to the `stats` command".to_string());
+    }
     let (faults, print) = parse_faults(n, &rest)?;
+    enable_tracing(&opts)?;
+    let result = embed_body(n, &faults, opts.stats, print);
+    star_rings::obs::flush_sinks();
+    result
+}
+
+fn embed_body(n: usize, faults: &FaultSet, stats: bool, print: bool) -> Result<(), String> {
     if stats {
         let (ring, report) =
-            star_rings::ring::report::embed_with_report(n, &faults).map_err(|e| e.to_string())?;
+            star_rings::ring::report::embed_with_report(n, faults).map_err(|e| e.to_string())?;
         eprintln!(
             "embedded ring of {} / {} vertices ({} faults, {} lost)",
             ring.len(),
@@ -235,7 +303,7 @@ fn cmd_embed(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let t0 = std::time::Instant::now();
-    let ring = embed_longest_ring(n, &faults).map_err(|e| e.to_string())?;
+    let ring = embed_longest_ring(n, faults).map_err(|e| e.to_string())?;
     let dt = t0.elapsed();
     eprintln!(
         "embedded ring of {} / {} vertices ({} faults, {} lost) in {:.2} ms",
@@ -252,6 +320,31 @@ fn cmd_embed(args: &[String]) -> Result<(), String> {
             writeln!(out, "{v}").map_err(|e| e.to_string())?;
         }
     }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let n = parse_n(args)?;
+    let (opts, rest) = parse_trace_opts(&args[1..])?;
+    let (faults, _) = parse_faults(n, &rest)?;
+    enable_tracing(&opts)?;
+    let (ring, report) =
+        star_rings::ring::report::embed_with_report(n, &faults).map_err(|e| e.to_string())?;
+    eprintln!(
+        "embedded ring of {} / {} vertices ({} faults; report oracle: {} hits, {} searches)",
+        ring.len(),
+        factorial(n),
+        faults.vertex_fault_count(),
+        report.oracle_hits,
+        report.oracle_misses
+    );
+    let snap = star_rings::obs::snapshot();
+    match opts.format.as_deref() {
+        Some("prom") => print!("{}", snap.to_prometheus()),
+        Some("json") => println!("{}", snap.to_json()),
+        _ => print!("{snap}"),
+    }
+    star_rings::obs::flush_sinks();
     Ok(())
 }
 

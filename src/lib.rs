@@ -16,6 +16,8 @@
 //!   Latifi–Bagherzadeh).
 //! - [`verify`] — ring/path validity and optimality checkers.
 //! - [`sim`] — ring-workload simulation on faulty star networks.
+//! - [`obs`] — structured tracing and metrics (spans, counters,
+//!   histograms) used by every layer above.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 pub use star_baselines as baselines;
 pub use star_fault as fault;
 pub use star_graph as graph;
+pub use star_obs as obs;
 pub use star_perm as perm;
 pub use star_ring as ring;
 pub use star_sim as sim;

@@ -1,0 +1,316 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API slice the workspace's benches use (`Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, `Throughput`, `criterion_group!`/`criterion_main!`)
+//! with a plain wall-clock harness: each benchmark is warmed up, then
+//! measured until a time target is hit, and the per-iteration mean /
+//! median / min are printed. No statistical regression machinery — but
+//! deterministic, dependency-free, and good enough to compare runs.
+//!
+//! Environment knobs:
+//! * `BENCH_WARMUP_MS` (default 100)
+//! * `BENCH_MEASURE_MS` (default 400)
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Throughput annotation for a benchmark (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not tuned).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<D: Display>(function_name: &str, parameter: D) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Collected per-iteration samples (ns), filled by `iter*`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Bencher {
+            warmup,
+            measure,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also estimates per-iteration cost for batch sizing.
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = t0.elapsed().as_secs_f64() / warm_iters as f64;
+        // Sample in batches sized to ~1ms so Instant overhead is amortized
+        // on fast routines while slow routines still sample one-by-one.
+        let batch = ((0.001 / est.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let t1 = Instant::now();
+        while t1.elapsed() < self.measure {
+            let s = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(s.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        let mut warmed = false;
+        while t0.elapsed() < self.warmup || !warmed {
+            let input = setup();
+            black_box(routine(input));
+            warmed = true;
+        }
+        let t1 = Instant::now();
+        while t1.elapsed() < self.measure {
+            let input = setup();
+            let s = Instant::now();
+            black_box(routine(input));
+            self.samples.push(s.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(full_id: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{full_id:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mut line = format!(
+        "{full_id:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(median)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(e) => (e, "elem"),
+            Throughput::Bytes(b) => (b, "B"),
+        };
+        let per_sec = count as f64 / (mean / 1e9);
+        line.push_str(&format!("  thrpt: {per_sec:.3e} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("BENCH_WARMUP_MS", 100),
+            measure: env_ms("BENCH_MEASURE_MS", 400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n-- {name} --");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warmup, self.measure);
+        f(&mut b);
+        report(id, &mut b.samples, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            &mut b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            &mut b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing left to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares the list of benchmark functions to run.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_harness_smoke() {
+        std::env::set_var("BENCH_WARMUP_MS", "1");
+        std::env::set_var("BENCH_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        group.finish();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

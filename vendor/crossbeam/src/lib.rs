@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam`: scoped threads implemented on
+//! `std::thread::scope` (stable since 1.63) behind crossbeam's
+//! `thread::scope` API shape, which is the slice this workspace uses.
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as stdt;
+
+    /// Payload of a panicked scope or thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Scope handle passed to [`scope`]'s closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdt::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdt::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope token
+        /// (crossbeam passes `&Scope`; every caller here ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(ScopeToken) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(ScopeToken { _priv: () })),
+            }
+        }
+    }
+
+    /// Placeholder for the `&Scope` argument crossbeam hands to spawned
+    /// closures (callers in this workspace write `|_| ...`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ScopeToken {
+        _priv: (),
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All spawned threads are joined before this
+    /// returns. Always `Ok` (std's scope re-raises panics instead).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdt::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let total: u64 = super::scope(|scope| {
+                let handles: Vec<_> = (0..2)
+                    .map(|w| {
+                        let data = &data;
+                        scope.spawn(move |_| data.iter().skip(w).step_by(2).sum::<u64>())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+    }
+}

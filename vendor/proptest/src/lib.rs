@@ -1,0 +1,170 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate implements the slice of proptest the test suites use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`,
+//!   `prop_filter_map`; range, tuple and [`strategy::Just`] strategies;
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   `prop_assume!`;
+//! * a deterministic runner ([`test_runner`]).
+//!
+//! **No shrinking**: a failing case reports its message, case index and
+//! RNG seed (settable via `PROPTEST_SEED`) instead of a minimized input.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The imports test modules glob in.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( config = ($config:expr);
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(&config, &strategy, |($($pat,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts inside a proptest body; failure aborts the case (not the
+/// process) with a report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!(left == right)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            left,
+            right,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// `prop_assert!(left != right)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: both sides equal `{:?}` ({} == {})",
+            left,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// Discards the current case (it does not count toward the case target).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps(x in 0u32..100, y in (0usize..10).prop_map(|v| v * 2)) {
+            prop_assert!(x < 100);
+            prop_assert!(y < 20 && y % 2 == 0);
+        }
+
+        #[test]
+        fn flat_map_dependent_pairs((n, k) in (1usize..=8).prop_flat_map(|n| (Just(n), 0..n))) {
+            prop_assert!(k < n, "k={} must stay below n={}", k, n);
+        }
+
+        #[test]
+        fn collections_hold_contracts(
+            v in crate::collection::vec(0u8..5, 3),
+            s in crate::collection::btree_set(0u32..1000, 2..=4),
+        ) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(v.iter().all(|&b| b < 5));
+            prop_assert!((2..=4).contains(&s.len()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn filter_map_applies(x in (0u32..100).prop_filter_map("keep evens", |v| {
+            if v % 2 == 0 { Some(v / 2) } else { None }
+        })) {
+            prop_assert!(x < 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_report() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x={} is never above 100", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic case runner.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (the slice of proptest's `Config` used here).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline stand-in's
+        // exhaustive suites fast while still exercising the properties.
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed — the whole test fails.
+    Fail(String),
+    /// The case was rejected (`prop_assume!`) — resample, don't fail.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property failure.
+    pub fn fail(msg: impl fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// A discarded case.
+    pub fn reject(msg: impl fmt::Display) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic generator state (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)` (rejection sampling).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+}
+
+fn seed_from_env() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5eed_cafe_f00d_0001)
+}
+
+/// Runs `test` over `config.cases` accepted inputs drawn from `strategy`.
+///
+/// # Panics
+/// Panics on the first failing case (reporting the message, case index and
+/// seed) or when rejection sampling exceeds its budget.
+pub fn run<S, F>(config: &Config, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = seed_from_env();
+    let mut rng = TestRng::new(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = config.cases.saturating_mul(20).saturating_add(100);
+    while accepted < config.cases {
+        let value = strategy.generate(&mut rng);
+        match test(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "proptest gave up: {rejected} rejected cases \
+                     (accepted {accepted}/{}; seed {seed:#x})",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed: {msg}\n  (case {accepted} of {}, \
+                     PROPTEST_SEED={seed})",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic_per_seed() {
+        let mut a = TestRng::new(3);
+        let mut b = TestRng::new(3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn run_counts_accepted_cases() {
+        use std::cell::Cell;
+        let hits = Cell::new(0u32);
+        run(&Config::with_cases(10), &(0u32..100), |_| {
+            hits.set(hits.get() + 1);
+            Ok(())
+        });
+        assert_eq!(hits.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest gave up")]
+    fn reject_budget_is_enforced() {
+        run(&Config::with_cases(5), &(0u32..100), |_| {
+            Err(TestCaseError::reject("never satisfiable"))
+        });
+    }
+}
