@@ -1,0 +1,145 @@
+//! Criterion benches for E11: parallel block expansion and the
+//! precomputed Lemma-4 oracle.
+//!
+//! Three measurements:
+//!
+//! 1. **one-shot cold baselines** (printed, not iterated — a process has
+//!    exactly one cold global oracle): the first serial embed at `n = 9`
+//!    against a cold table, and the cost of `oracle::warm()` itself;
+//! 2. **`oracle` group** — the full healthy-pair canonical query sweep
+//!    against a cold private table (every query runs the DFS) vs a warmed
+//!    one (every query is a lock-free read);
+//! 3. **`expand` group** — the same full-budget embed at `n = 7..9` with
+//!    the pool forced serial (`threads=1`) vs automatic fan-out
+//!    (`threads=auto`; `n = 9` is the first size that parallelizes), both
+//!    against the warmed oracle.
+//!
+//! The E11 acceptance ratio is printed at the end: one-shot serial-cold
+//! at `n = 9` over the measured parallel-warm mean.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use star_fault::gen;
+use star_perm::{factorial, Parity};
+use star_ring::oracle::{self, OracleTable};
+use star_ring::{embed_with_options, EmbedOptions};
+
+fn no_verify() -> EmbedOptions {
+    EmbedOptions {
+        verify: false,
+        ..Default::default()
+    }
+}
+
+fn full_budget_faults(n: usize) -> star_fault::FaultSet {
+    gen::worst_case_same_partite(n, n - 3, Parity::Even, 42).unwrap()
+}
+
+/// Runs every healthy-pair canonical query once against `table`.
+fn query_sweep(table: &OracleTable) {
+    for entry in 0..24u8 {
+        for exit in 0..24u8 {
+            black_box(table.query(entry, exit, None));
+        }
+    }
+}
+
+/// Must run first (criterion groups execute in registration order): the
+/// process-global oracle is still cold here.
+fn bench_cold_oneshots(c: &mut Criterion) {
+    let n = 9usize;
+    let faults = full_budget_faults(n);
+    star_pool::set_threads(1);
+    let t0 = Instant::now();
+    let ring = embed_with_options(n, &faults, &no_verify()).unwrap();
+    let cold = t0.elapsed();
+    println!(
+        "oneshot/embed-n9-serial-cold                     time: [{:.3} ms] ({} vertices)",
+        cold.as_secs_f64() * 1e3,
+        ring.len()
+    );
+    COLD_SERIAL_N9_NS.store(cold.as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+    star_pool::set_threads(0);
+
+    let t0 = Instant::now();
+    let filled = oracle::warm();
+    println!(
+        "oneshot/oracle-warm                              time: [{:.3} ms] ({filled} slots computed)",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Keep criterion's harness in the loop so the group shows up in
+    // reports: a trivially warmed re-run.
+    c.bench_function("oneshot/warm-idempotent", |b| b.iter(oracle::warm));
+}
+
+static COLD_SERIAL_N9_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn bench_oracle_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle");
+    group.throughput(Throughput::Elements(24 * 24));
+    group.bench_function("cold/query-sweep", |b| {
+        b.iter_batched(
+            OracleTable::new,
+            |table| {
+                query_sweep(&table);
+                table
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    let warmed = OracleTable::new();
+    warmed.warm();
+    group.bench_function("warm/query-sweep", |b| b.iter(|| query_sweep(&warmed)));
+    group.finish();
+}
+
+fn bench_expand_serial_vs_parallel(c: &mut Criterion) {
+    oracle::warm();
+    let mut group = c.benchmark_group("expand");
+    let mut parallel_n9_mean_ns = 0f64;
+    for n in [7usize, 8, 9] {
+        let fv = n - 3;
+        let faults = full_budget_faults(n);
+        group.throughput(Throughput::Elements(factorial(n) - 2 * fv as u64));
+        star_pool::set_threads(1);
+        group.bench_with_input(BenchmarkId::new("serial-warm", n), &n, |b, &n| {
+            b.iter(|| embed_with_options(black_box(n), black_box(&faults), &no_verify()).unwrap())
+        });
+        star_pool::set_threads(0); // auto: n = 9 fans out on multi-core hosts
+        let t0 = Instant::now();
+        let mut iters = 0u32;
+        group.bench_with_input(BenchmarkId::new("parallel-warm", n), &n, |b, &n| {
+            b.iter(|| {
+                iters += 1;
+                embed_with_options(black_box(n), black_box(&faults), &no_verify()).unwrap()
+            })
+        });
+        if n == 9 && iters > 0 {
+            parallel_n9_mean_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        }
+    }
+    group.finish();
+
+    let cold_ns = COLD_SERIAL_N9_NS.load(std::sync::atomic::Ordering::Relaxed) as f64;
+    if cold_ns > 0.0 && parallel_n9_mean_ns > 0.0 {
+        println!(
+            "\nE11 ratio @ n=9: serial-cold oneshot / parallel-warm mean = {:.2}x \
+             ({} hardware threads)",
+            cold_ns / parallel_n9_mean_ns,
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_cold_oneshots,
+    bench_oracle_cold_vs_warm,
+    bench_expand_serial_vs_parallel
+);
+criterion_main!(benches);

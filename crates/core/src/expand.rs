@@ -397,7 +397,7 @@ fn assemble(
     }
 
     // Phase 2: block paths — independent given the endpoints, so large
-    // rings are materialized in parallel.
+    // rings are materialized in parallel over the shared star-pool.
     let make_segment = |i: usize| -> Option<BlockSegment> {
         let plan = &plans[i];
         let (x, y) = (entry_of(i), exits[i]);
@@ -422,96 +422,43 @@ fn assemble(
         })
     };
 
-    const PARALLEL_THRESHOLD: usize = 2048;
-    // Cap the worker count: each block is one memoized oracle hit plus a
-    // small allocation, so beyond a handful of threads the global
-    // allocator becomes the bottleneck.
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8);
-    let parallel = len >= PARALLEL_THRESHOLD && workers >= 2;
-    materialize_segments(&make_segment, len, if parallel { workers } else { 1 })
+    // Each block is one memoized oracle read plus a small allocation, so
+    // small rings stay serial and the auto fan-out caps early (the global
+    // allocator dominates beyond a handful of threads); an explicit
+    // `star_pool::set_threads` overrides both bounds. Output is
+    // byte-identical to the serial walk regardless of worker count.
+    let workers = star_pool::workers_for(len, MIN_BLOCKS_PER_WORKER);
+    star_pool::try_map_indexed(len, workers, make_segment)
 }
 
-/// Materializes all block segments, either sequentially (`workers == 1`)
-/// or with an interleaved static split over a crossbeam scope; block costs
-/// are uniform (one memoized oracle hit each) so static balancing is fine.
-/// Returns `None` as soon as any block fails.
-fn materialize_segments<F>(
-    make_segment: &F,
-    len: usize,
-    workers: usize,
-) -> Option<Vec<BlockSegment>>
-where
-    F: Fn(usize) -> Option<BlockSegment> + Sync,
-{
-    if workers <= 1 {
-        return (0..len).map(make_segment).collect();
-    }
-    let results: Vec<Vec<(usize, Option<BlockSegment>)>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move |_| {
-                    (w..len)
-                        .step_by(workers)
-                        .map(|i| (i, make_segment(i)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("block worker panicked"))
-            .collect()
-    })
-    .expect("block scope failed");
-    let mut out: Vec<Option<BlockSegment>> = (0..len).map(|_| None).collect();
-    for chunk in results {
-        for (i, seg) in chunk {
-            out[i] = Some(seg?);
-        }
-    }
-    out.into_iter().collect::<Option<Vec<_>>>()
-}
+/// Minimum blocks allotted per worker before the expansion fans out under
+/// the auto thread policy (a 2048-block ring — `n >= 9` — is the first to
+/// parallelize, matching where the per-thread overhead amortizes).
+const MIN_BLOCKS_PER_WORKER: usize = 256;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parallel_materialization_matches_sequential() {
-        // Force the crossbeam path on a small ring (even on a single-core
-        // host) and compare with the sequential result.
+    fn forced_parallel_expansion_matches_serial() {
+        // Even on a single-core host, an explicit thread override forces
+        // the pooled path on a small ring; the seam plan pins every
+        // block's endpoints, so the output must be byte-identical to the
+        // serial walk. (The umbrella `tests/parallel.rs` sweeps this
+        // invariant over n = 5..7 and 20+ seeded fault sets end-to-end.)
         let r4 = {
             let parts = star_graph::partition::i_partition(&Pattern::full(6), 5).unwrap();
             let ring = SuperRing::new(parts).unwrap();
             crate::hierarchy::refine(&ring, 4, &FaultSet::empty(6), true).unwrap()
         };
         let faults = FaultSet::empty(6);
-        let plans = plan_blocks(&r4, &faults, 1, 0).unwrap();
-        let x0 = entry_candidates(&plans)[0];
-        let make = |i: usize| -> Option<BlockSegment> {
-            let plan = &plans[i];
-            // A trivial "segment" that only records endpoints; the real
-            // make_segment closure is exercised by every embed test.
-            Some(BlockSegment {
-                block: plan.block,
-                entry: x0,
-                exit: x0,
-                path: vec![x0],
-            })
-        };
-        let seq = materialize_segments(&make, plans.len(), 1).unwrap();
-        let par = materialize_segments(&make, plans.len(), 4).unwrap();
-        assert_eq!(seq.len(), par.len());
-        for (a, b) in seq.iter().zip(&par) {
-            assert_eq!(a.block, b.block);
-        }
-        // Failure in any block aborts both modes.
-        let failing = |i: usize| if i == 17 { None } else { make(i) };
-        assert!(materialize_segments(&failing, plans.len(), 1).is_none());
-        assert!(materialize_segments(&failing, plans.len(), 4).is_none());
+        star_pool::set_threads(1);
+        let serial = expand(&r4, &faults, 1).unwrap();
+        star_pool::set_threads(4);
+        let parallel = expand(&r4, &faults, 1).unwrap();
+        star_pool::set_threads(0);
+        assert_eq!(serial, parallel, "worker count must not change the ring");
     }
     use star_graph::partition::i_partition;
 

@@ -19,7 +19,8 @@
 //!    seam/path choices at the last step yield **(P1)** and **(P3)**.
 //! 3. [`oracle`] — Lemma 4 as a verified computation: all 4-vertices are
 //!    isomorphic to `S_4`, so block path queries are canonicalized and
-//!    answered from a lazily-built exhaustive table.
+//!    answered from a dense lock-free memo table (lazily filled, or
+//!    precomputed wholesale with [`oracle::warm`]).
 //! 4. [`expand`] — Lemma 7: pick entry/exit 3-vertices per block (Lemmas 1,
 //!    5, 6 fix the geometry), then splice per-block Hamiltonian (healthy,
 //!    24 vertices) or Lemma-4 (faulty, 22 vertices) paths into the final
@@ -29,7 +30,13 @@
 //! ([`small_n`]). The concluding remark's mixed vertex+edge fault extension
 //! lives in [`mixed`], and [`repair`] maintains an embedding across fault
 //! arrivals with O(block) local fixes.
+//!
+//! Large expansions parallelize per block over the shared `star-pool`
+//! (output is byte-identical to the serial walk; `star_pool::set_threads`
+//! / the CLI `--threads` flag control the fan-out), and [`embed_many`]
+//! batches independent fault scenarios with a pre-warmed oracle.
 
+mod batch;
 mod embedding;
 mod error;
 
@@ -45,6 +52,7 @@ pub mod small_n;
 
 mod embed_impl;
 
+pub use batch::{embed_many, embed_many_with_options};
 pub use embed_impl::{
     embed_hamiltonian_cycle, embed_longest_ring, embed_with_options, EmbedOptions,
 };

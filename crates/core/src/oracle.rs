@@ -12,15 +12,33 @@
 //! have opposite parity and are healthy — for the faulty case the paper
 //! states it for adjacent `u, v`, and the exhaustive sweep shows it in fact
 //! holds for **all** opposite-parity healthy pairs, which gives the
-//! assembler slack. Results are memoized: there are at most
-//! `24 · 24 · 25` distinct canonical queries, so after warm-up every block
-//! of the expansion is answered in O(1).
+//! assembler slack.
+//!
+//! ## Dense lock-free memo table
+//!
+//! The canonical query space is tiny and fixed: `24` entries × `24` exits
+//! × `25` fault choices (24 vertices plus "no fault") = [`TABLE_SLOTS`]
+//! `= 14,400` keys. Results live in a dense array indexed by
+//! `(entry · 24 + exit) · 25 + fault`, one `OnceLock` per slot:
+//!
+//! * **reads are lock-free** — a warm query is one atomic load plus a
+//!   slice borrow (no map lookup, no lock, no clone);
+//! * **each key is computed exactly once** — concurrent cold misses on
+//!   the same key race into the slot's `OnceLock`; one thread runs the
+//!   search, the others block briefly and observe its result (the old
+//!   `RwLock<HashMap>` let both run the identical DFS and the second
+//!   insert clobbered the first, double-counting `misses`);
+//! * **[`warm`] precomputes the whole table** (in parallel via
+//!   `star-pool`), after which every block of every subsequent expansion
+//!   is answered in O(1) — batch sweeps call it once up front.
+//!
+//! Lifetime hit/miss/entry counters are exposed through [`cache_stats`];
+//! warming is counted separately (`oracle.warm`) so `misses` keeps
+//! meaning "queries that ran the exact search".
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use parking_lot::RwLock;
 use star_fault::FaultSet;
 use star_graph::smallgraph::SmallGraph;
 use star_graph::Pattern;
@@ -32,100 +50,231 @@ pub const HEALTHY_BLOCK_VERTICES: usize = 24;
 /// Vertices of a one-fault block traversal: `4! - 2 = 22` (Lemma 4).
 pub const FAULTY_BLOCK_VERTICES: usize = 22;
 
-/// Canonical query key: (entry local rank, exit local rank, fault local
-/// rank or 24 for "no fault").
-type Key = (u8, u8, u8);
+/// Size of the dense canonical-query table: `24 · 24 · 25` slots, one per
+/// `(entry, exit, fault-or-none)` triple.
+pub const TABLE_SLOTS: usize = 24 * 24 * 25;
 
-struct OracleState {
-    graph: SmallGraph,
-    memo: RwLock<HashMap<Key, Option<Vec<u8>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    /// Mirrors of `hits`/`misses` in the star-obs registry (`oracle.hit`,
-    /// `oracle.miss`) plus the canonical-search latency histogram
-    /// (`oracle.build`), resolved once.
-    obs_hit: star_obs::Counter,
-    obs_miss: star_obs::Counter,
-    obs_build: star_obs::Hist,
-}
+/// Local-rank sentinel meaning "no fault in the block".
+const NO_FAULT: u8 = 24;
+
+/// Bounded consistency retries in [`OracleTable::stats`]: after this many
+/// passes without observing a quiet pair of reads, the last reading is
+/// returned as-is.
+const STATS_MAX_PASSES: usize = 8;
+
+/// Blocks allotted to each worker when [`warm`] fans out over the table.
+const WARM_SLOTS_PER_WORKER: usize = 600;
 
 /// A consistent reading of the canonical-query memo's lifetime counters.
 /// Callers diff two readings to attribute cost to one embed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Memoized queries answered from the cache.
+    /// Memoized queries answered from the table.
     pub hits: u64,
     /// Queries that ran the exact search.
     pub misses: u64,
     /// Distinct canonical queries currently memoized (gauge; bounded by
-    /// `24 * 24 * 25`).
+    /// [`TABLE_SLOTS`]; [`warm`]ed entries count here but not in
+    /// `misses`).
     pub entries: usize,
 }
 
-/// Lifetime cache statistics of the canonical-query memo, read as one
-/// consistent snapshot: the counters are re-read until a pass observes no
-/// concurrent movement, so `hits` and `misses` always belong to the same
-/// instant (the old tuple API could tear between the two loads).
-pub fn cache_stats() -> CacheStats {
-    let st = state();
-    loop {
-        let hits = st.hits.load(Ordering::Acquire);
-        let misses = st.misses.load(Ordering::Acquire);
-        let entries = st.memo.read().len();
-        if st.hits.load(Ordering::Acquire) == hits && st.misses.load(Ordering::Acquire) == misses {
-            return CacheStats {
-                hits,
-                misses,
-                entries,
-            };
+/// One memo slot: lazily initialized, immutable once set. `None` means
+/// "no such path exists" — a memoized answer, not an empty slot.
+type Slot = OnceLock<Option<Box<[u8]>>>;
+
+/// The dense canonical-`S_4` memo table. The embedder uses one
+/// process-global instance (see the free functions [`cache_stats`],
+/// [`warm`], [`block_path`]); benchmarks construct private instances to
+/// measure cold-table behavior without resetting global state.
+pub struct OracleTable {
+    graph: SmallGraph,
+    /// `TABLE_SLOTS` once-cells: `None` result = "no such path" (e.g.
+    /// same-parity endpoints), memoized like any other answer.
+    slots: Box<[Slot]>,
+    /// Initialized-slot count (gauge backing `CacheStats::entries`).
+    entries: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Mirrors of `hits`/`misses` in the star-obs registry (`oracle.hit`,
+    /// `oracle.miss`), the canonical-search latency histogram
+    /// (`oracle.build`) and the precompute counter (`oracle.warm`),
+    /// resolved once per table.
+    obs_hit: star_obs::Counter,
+    obs_miss: star_obs::Counter,
+    obs_build: star_obs::Hist,
+    obs_warm: star_obs::Counter,
+}
+
+impl Default for OracleTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OracleTable {
+    /// An empty (cold) table over the canonical `S_4`.
+    pub fn new() -> Self {
+        OracleTable {
+            graph: SmallGraph::from_star(4),
+            slots: (0..TABLE_SLOTS).map(|_| OnceLock::new()).collect(),
+            entries: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            obs_hit: star_obs::counter("oracle.hit"),
+            obs_miss: star_obs::counter("oracle.miss"),
+            obs_build: star_obs::histogram("oracle.build"),
+            obs_warm: star_obs::counter("oracle.warm"),
+        }
+    }
+
+    fn index(entry: u8, exit: u8, fault: u8) -> usize {
+        debug_assert!(entry < 24 && exit < 24 && fault <= NO_FAULT);
+        (entry as usize * 24 + exit as usize) * 25 + fault as usize
+    }
+
+    /// Canonical query: maximum-length healthy path from local rank
+    /// `entry` to `exit` avoiding `fault` (`24 - 2·|f|` vertices), or
+    /// `None` if no such path exists. Lock-free once the slot is filled;
+    /// a cold slot is computed by exactly one caller.
+    pub fn query(&self, entry: u8, exit: u8, fault: Option<u8>) -> Option<&[u8]> {
+        let slot = &self.slots[Self::index(entry, exit, fault.unwrap_or(NO_FAULT))];
+        if let Some(cached) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs_hit.incr(1);
+            return cached.as_deref();
+        }
+        let mut computed_here = false;
+        let value = slot.get_or_init(|| {
+            computed_here = true;
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.compute(entry, exit, fault)
+        });
+        if computed_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.obs_miss.incr(1);
+        } else {
+            // Lost the init race: another thread ran the search; this
+            // query was served from the table like any other hit.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs_hit.incr(1);
+        }
+        value.as_deref()
+    }
+
+    /// The exact search behind a cold slot.
+    fn compute(&self, entry: u8, exit: u8, fault: Option<u8>) -> Option<Box<[u8]>> {
+        // Parity precheck: both targets (24 and 22) are even, and a path
+        // with an even vertex count in a bipartite graph must connect
+        // opposite sides — so same-parity pairs (and degenerate queries
+        // touching the fault) need no search. This keeps full-table
+        // warming cheap: infeasible slots short-circuit.
+        let pe = Perm::unrank(4, entry as u32).expect("rank < 24");
+        let px = Perm::unrank(4, exit as u32).expect("rank < 24");
+        if pe.parity() == px.parity() || fault == Some(entry) || fault == Some(exit) {
+            return None;
+        }
+        let mut blocked = vec![false; 24];
+        let mut target = HEALTHY_BLOCK_VERTICES;
+        if let Some(f) = fault {
+            blocked[f as usize] = true;
+            target = FAULTY_BLOCK_VERTICES;
+        }
+        let (found, _) = self.obs_build.time(|| {
+            self.graph
+                .path_with_exact_count(entry as u16, exit as u16, &blocked, target, u64::MAX)
+        });
+        found.map(|p| p.into_iter().map(|x| x as u8).collect())
+    }
+
+    /// Precomputes every slot of the table (idempotent; fans out over the
+    /// shared `star-pool`). Returns the number of slots computed by this
+    /// call — already-filled slots are skipped and neither warming nor
+    /// skipping moves the hit/miss counters, only `oracle.warm`.
+    pub fn warm(&self) -> usize {
+        let chunks: Vec<usize> = (0..TABLE_SLOTS.div_ceil(WARM_SLOTS_PER_WORKER)).collect();
+        let filled: usize = star_pool::sweep(chunks, |&c| {
+            let mut filled = 0usize;
+            let lo = c * WARM_SLOTS_PER_WORKER;
+            for idx in lo..(lo + WARM_SLOTS_PER_WORKER).min(TABLE_SLOTS) {
+                let fault = (idx % 25) as u8;
+                let exit = (idx / 25 % 24) as u8;
+                let entry = (idx / (25 * 24)) as u8;
+                let mut computed_here = false;
+                self.slots[idx].get_or_init(|| {
+                    computed_here = true;
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    self.compute(entry, exit, (fault < NO_FAULT).then_some(fault))
+                });
+                filled += computed_here as usize;
+            }
+            filled
+        })
+        .into_iter()
+        .sum();
+        self.obs_warm.incr(filled as u64);
+        filled
+    }
+
+    /// Number of memoized canonical queries.
+    pub fn entries(&self) -> usize {
+        self.entries.load(Ordering::Acquire)
+    }
+
+    /// Lifetime cache statistics, read as one consistent snapshot when
+    /// possible: the counters are re-read until a pass observes no
+    /// concurrent movement, so `hits` and `misses` belong to the same
+    /// instant. Retries are **bounded** — under sustained concurrent
+    /// traffic a quiet pair may never occur, so after
+    /// `STATS_MAX_PASSES` the last reading is returned as-is (each
+    /// counter is still individually monotone; the pair may be offset by
+    /// a few in-flight queries).
+    pub fn stats(&self) -> CacheStats {
+        let mut hits = self.hits.load(Ordering::Acquire);
+        let mut misses = self.misses.load(Ordering::Acquire);
+        let mut entries = self.entries.load(Ordering::Acquire);
+        for _ in 0..STATS_MAX_PASSES {
+            let h = self.hits.load(Ordering::Acquire);
+            let m = self.misses.load(Ordering::Acquire);
+            if h == hits && m == misses {
+                break;
+            }
+            hits = h;
+            misses = m;
+            entries = self.entries.load(Ordering::Acquire);
+        }
+        CacheStats {
+            hits,
+            misses,
+            entries,
         }
     }
 }
 
+/// Lifetime cache statistics of the global canonical-query table (see
+/// [`OracleTable::stats`] for the consistency contract).
+pub fn cache_stats() -> CacheStats {
+    state().stats()
+}
+
 /// Number of memoized canonical queries (the `entries` gauge alone).
 pub fn entries() -> usize {
-    state().memo.read().len()
+    state().entries()
 }
 
-fn state() -> &'static OracleState {
-    static STATE: OnceLock<OracleState> = OnceLock::new();
-    STATE.get_or_init(|| OracleState {
-        graph: SmallGraph::from_star(4),
-        memo: RwLock::new(HashMap::new()),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
-        obs_hit: star_obs::counter("oracle.hit"),
-        obs_miss: star_obs::counter("oracle.miss"),
-        obs_build: star_obs::histogram("oracle.build"),
-    })
+/// Precomputes the full global table (all [`TABLE_SLOTS`] canonical
+/// queries, in parallel); afterwards every block-path query in the
+/// process is a lock-free O(1) read. Idempotent; returns the number of
+/// slots this call computed. Batch sweeps ([`crate::embed_many`]) warm
+/// automatically; one-shot embeds are usually better off paying only for
+/// the handful of keys they touch.
+pub fn warm() -> usize {
+    state().warm()
 }
 
-/// Canonical-`S_4` query: maximum-length healthy path from local rank
-/// `entry` to `exit` avoiding `fault`; the target length is `24 - 2·|f|`
-/// vertices. Memoized.
-fn canonical_path(entry: u8, exit: u8, fault: Option<u8>) -> Option<Vec<u8>> {
-    let key: Key = (entry, exit, fault.unwrap_or(24));
-    let st = state();
-    if let Some(hit) = st.memo.read().get(&key) {
-        st.hits.fetch_add(1, Ordering::Relaxed);
-        st.obs_hit.incr(1);
-        return hit.clone();
-    }
-    st.misses.fetch_add(1, Ordering::Relaxed);
-    st.obs_miss.incr(1);
-    let mut blocked = vec![false; 24];
-    let mut target = HEALTHY_BLOCK_VERTICES;
-    if let Some(f) = fault {
-        blocked[f as usize] = true;
-        target = FAULTY_BLOCK_VERTICES;
-    }
-    let (found, _) = st.obs_build.time(|| {
-        st.graph
-            .path_with_exact_count(entry as u16, exit as u16, &blocked, target, u64::MAX)
-    });
-    let result = found.map(|p| p.into_iter().map(|x| x as u8).collect::<Vec<u8>>());
-    st.memo.write().insert(key, result.clone());
-    result
+fn state() -> &'static OracleTable {
+    static STATE: OnceLock<OracleTable> = OnceLock::new();
+    STATE.get_or_init(OracleTable::new)
 }
 
 /// The required traversal size for a block with `fault_count` faults.
@@ -150,11 +299,24 @@ pub fn block_path(
     let local_entry = block.to_local(entry).rank() as u8;
     let local_exit = block.to_local(exit).rank() as u8;
     let block_faults = faults.vertex_faults_in(block);
-    let local = match block_faults.len() {
-        0 => canonical_path(local_entry, local_exit, None)?,
+    let from_local = |rank: u8| block.from_local(&Perm::unrank(4, rank as u32).expect("rank < 24"));
+    match block_faults.len() {
+        0 => Some(
+            state()
+                .query(local_entry, local_exit, None)?
+                .iter()
+                .map(|&r| from_local(r))
+                .collect(),
+        ),
         1 => {
             let f = block.to_local(&block_faults[0]).rank() as u8;
-            canonical_path(local_entry, local_exit, Some(f))?
+            Some(
+                state()
+                    .query(local_entry, local_exit, Some(f))?
+                    .iter()
+                    .map(|&r| from_local(r))
+                    .collect(),
+            )
         }
         k => {
             // Outside the paper's invariant; exact uncached search.
@@ -169,15 +331,9 @@ pub fn block_path(
                 block_target_vertices(k),
                 u64::MAX,
             );
-            found?.into_iter().map(|x| x as u8).collect()
+            Some(found?.into_iter().map(|x| from_local(x as u8)).collect())
         }
-    };
-    Some(
-        local
-            .into_iter()
-            .map(|rank| block.from_local(&Perm::unrank(4, rank as u32).expect("rank < 24")))
-            .collect(),
-    )
+    }
 }
 
 /// Like [`block_path`], but with an explicit target vertex count (uncached;
@@ -359,5 +515,108 @@ mod tests {
             assert!(w[0].is_adjacent(&w[1]));
             assert!(!faults.is_edge_faulty(&w[0], &w[1]));
         }
+    }
+
+    #[test]
+    fn concurrent_cold_misses_compute_exactly_once() {
+        // Regression for the duplicate-search race: with the old
+        // RwLock<HashMap> memo, N threads missing the same cold key each
+        // ran the DFS and each bumped `misses`. The dense once-cell table
+        // must admit exactly one compute per canonical key.
+        let table = OracleTable::new();
+        let hit0 = star_obs::counter("oracle.hit").get();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    // Identity (rank 0) to its 0<->1 swap (rank 1): a
+                    // healthy Hamiltonian query on a private cold table.
+                    let p = table.query(0, 1, None).expect("opposite parity");
+                    assert_eq!(p.len(), HEALTHY_BLOCK_VERTICES);
+                });
+            }
+        });
+        let stats = table.stats();
+        assert_eq!(stats.misses, 1, "exactly one thread may run the search");
+        assert_eq!(stats.hits, 7, "the other callers are table hits");
+        assert_eq!(stats.entries, 1);
+        // The obs mirror moved with them (other tests share the global
+        // counter, so check the floor only).
+        assert!(star_obs::counter("oracle.hit").get() >= hit0 + 7);
+    }
+
+    #[test]
+    fn warm_fills_the_whole_table_once() {
+        let table = OracleTable::new();
+        let first = table.warm();
+        assert_eq!(first, TABLE_SLOTS);
+        assert_eq!(table.entries(), TABLE_SLOTS);
+        // Idempotent: nothing left to compute, counters untouched.
+        assert_eq!(table.warm(), 0);
+        let stats = table.stats();
+        assert_eq!(stats.misses, 0, "warming is not a miss");
+        assert_eq!(stats.hits, 0, "warming is not a hit");
+        // A post-warm query is a pure table read.
+        assert!(table.query(0, 1, None).is_some());
+        assert_eq!(
+            table.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                entries: TABLE_SLOTS
+            }
+        );
+    }
+
+    #[test]
+    fn warmed_table_agrees_with_lazy_queries() {
+        // Same answers whether a slot was warmed or computed on demand.
+        let warmed = OracleTable::new();
+        warmed.warm();
+        let lazy = OracleTable::new();
+        for entry in 0..24u8 {
+            for exit in 0..24u8 {
+                for fault in [None, Some(5u8), Some(23u8)] {
+                    assert_eq!(
+                        warmed.query(entry, exit, fault),
+                        lazy.query(entry, exit, fault),
+                        "entry={entry} exit={exit} fault={fault:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_bounded_under_sustained_hammer() {
+        // Regression for the unbounded consistency loop: 4 threads keep
+        // the counters moving while the main thread snapshots; every call
+        // must return (bounded retries) with monotone counters.
+        let table = OracleTable::new();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let table = &table;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut i = t as u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        i = i.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+                        table.query((i % 24) as u8, (i / 24 % 24) as u8, None);
+                    }
+                });
+            }
+            let mut prev = table.stats();
+            for _ in 0..5_000 {
+                let cur = table.stats();
+                assert!(cur.hits >= prev.hits, "hits went backward");
+                assert!(cur.misses >= prev.misses, "misses went backward");
+                assert!(cur.entries <= TABLE_SLOTS);
+                prev = cur;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Quiescent: reading is exact and every distinct key was computed
+        // at most once.
+        assert!(table.stats().misses <= 24 * 24);
     }
 }

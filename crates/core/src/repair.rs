@@ -167,15 +167,32 @@ impl MaintainedRing {
             // Local repair: endpoints must survive and the block must
             // still admit a path of the required length.
             if v != seg.entry && v != seg.exit {
-                let target =
-                    oracle::HEALTHY_BLOCK_VERTICES - 2 * self.faults.count_vertex_faults_in(&home);
-                let repaired = oracle::block_path_with_target(
-                    &home,
-                    &seg.entry,
-                    &seg.exit,
-                    &self.faults,
-                    target,
-                );
+                let block_faults = self.faults.count_vertex_faults_in(&home);
+                let target = oracle::HEALTHY_BLOCK_VERTICES - 2 * block_faults;
+                let repaired = if !self.faults.edge_faults_within(&home).is_empty() {
+                    // The block carries faulty edges (mixed extension):
+                    // the replacement path must dodge them too.
+                    oracle::block_path_avoiding_edges(
+                        &home,
+                        &seg.entry,
+                        &seg.exit,
+                        &self.faults,
+                        target,
+                    )
+                } else if block_faults <= 1 {
+                    // The paper's regime: answered from the dense memo
+                    // table, lock-free once warm.
+                    oracle::block_path(&home, &seg.entry, &seg.exit, &self.faults)
+                } else {
+                    // Beyond-budget pile-up in one block: exact search.
+                    oracle::block_path_with_target(
+                        &home,
+                        &seg.entry,
+                        &seg.exit,
+                        &self.faults,
+                        target,
+                    )
+                };
                 if let Some(path) = repaired {
                     self.segments[idx].path = path;
                     return Ok(RepairOutcome::Local { block: idx });

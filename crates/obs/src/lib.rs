@@ -3,7 +3,7 @@
 //!
 //! Three cooperating layers:
 //!
-//! * **Spans** ([`span`]) — hierarchical RAII-timed regions with typed
+//! * **Spans** ([`fn@span`]) — hierarchical RAII-timed regions with typed
 //!   fields. Closed spans feed duration histograms, registered sinks
 //!   (when tracing is on) and thread-local [`capture`] buffers (how
 //!   `embed_with_report` assembles its transcript).
@@ -11,13 +11,25 @@
 //!   log-scale latency [`Hist`]ograms (p50/p95/p99/max). Handles are
 //!   cheap `Arc`s; hot paths cache them so recording is one relaxed
 //!   atomic RMW.
-//! * **Export** ([`snapshot`]) — a point-in-time [`Snapshot`] renders to
+//! * **Export** ([`fn@snapshot`]) — a point-in-time [`Snapshot`] renders to
 //!   Prometheus text, JSON, or a pretty table.
 //!
 //! Everything is gated: with metrics and tracing disabled and no capture
-//! active, [`span`] and [`Counter::incr`] cost a couple of relaxed
+//! active, [`fn@span`] and [`Counter::incr`] cost a couple of relaxed
 //! atomic loads. Metrics default **on** (atomic counters are nearly
 //! free), tracing defaults **off**.
+//!
+//! # Metric families emitted by the workspace
+//!
+//! * `oracle.hit` / `oracle.miss` — Lemma-4 table queries served from a
+//!   filled slot vs. queries that ran the exact search; `oracle.warm`
+//!   counts slots filled by precompute, and `oracle.build` table
+//!   constructions.
+//! * `pool.jobs` / `pool.workers` / `pool.items` — every `star-pool`
+//!   fan-out records one job, the worker count it chose, and the items
+//!   it spread across them (utilization = items / workers).
+//! * `embed.*` / `expand.*` / `repair.*` — span-duration histograms for
+//!   the pipeline stages, plus `embed.batch` around `embed_many`.
 //!
 //! ```
 //! let _pipeline = star_obs::span("embed");

@@ -1,0 +1,280 @@
+//! # star-pool
+//!
+//! The workspace's shared work pool: order-preserving parallel maps over
+//! scoped threads, with a process-wide thread-count knob.
+//!
+//! Promoted out of `star-sim` so that both the simulator's parameter
+//! sweeps *and* the core embedder's per-block path materialization share
+//! one scheduling policy (and `star-ring` need not depend on the
+//! simulator). Work is interleaved round-robin across workers: item costs
+//! in this workspace are roughly uniform (one memoized oracle query, or
+//! one independent embed), so static interleaving balances well without
+//! any shared mutable state.
+//!
+//! ## Thread-count policy
+//!
+//! [`set_threads`] installs a process-wide override (`0` restores auto).
+//! Under auto, [`sweep`] uses one worker per item up to the hardware
+//! parallelism, while fine-grained callers use [`workers_for`] with a
+//! minimum batch size per worker so that small inputs stay serial and
+//! large ones cap out before the global allocator becomes the bottleneck.
+//! An explicit override wins over both heuristics — `--threads 1` forces
+//! every parallel path in the process serial, which is how the
+//! byte-identical serial-vs-parallel conformance tests are driven.
+//!
+//! ## Utilization metrics
+//!
+//! Every parallel run records three `star-obs` counters: `pool.jobs`
+//! (parallel invocations), `pool.workers` (scoped threads spawned) and
+//! `pool.items` (work items processed), so sweep throughput and worker
+//! fan-out are visible in any metrics snapshot.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Auto-mode cap on workers for fine-grained (per-block) fan-out; beyond
+/// this the global allocator dominates. Explicit [`set_threads`] overrides
+/// it.
+pub const MAX_AUTO_WORKERS: usize = 8;
+
+/// Process-wide thread override; 0 means "auto".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+struct PoolObs {
+    jobs: star_obs::Counter,
+    workers: star_obs::Counter,
+    items: star_obs::Counter,
+}
+
+fn obs() -> &'static PoolObs {
+    static OBS: OnceLock<PoolObs> = OnceLock::new();
+    OBS.get_or_init(|| PoolObs {
+        jobs: star_obs::counter("pool.jobs"),
+        workers: star_obs::counter("pool.workers"),
+        items: star_obs::counter("pool.items"),
+    })
+}
+
+/// Sets the process-wide worker-thread count for all pool entry points.
+/// `0` restores the automatic policy (hardware parallelism with
+/// per-caller batching heuristics). Takes effect for subsequent calls;
+/// in-flight parallel runs are unaffected.
+pub fn set_threads(threads: usize) {
+    CONFIGURED.store(threads, Ordering::Release);
+}
+
+/// The explicit thread override, if one is installed.
+pub fn configured_threads() -> Option<usize> {
+    match CONFIGURED.load(Ordering::Acquire) {
+        0 => None,
+        t => Some(t),
+    }
+}
+
+/// The resolved thread budget: the explicit override, or the hardware
+/// parallelism.
+pub fn threads() -> usize {
+    configured_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Worker count for a fine-grained run of `items` uniform work items.
+///
+/// With an explicit [`set_threads`] override the override wins (clamped
+/// to the item count). Under auto, allots at least
+/// `min_items_per_worker` items to each worker and caps the fan-out at
+/// [`MAX_AUTO_WORKERS`] and the hardware parallelism — so small inputs
+/// run serially and large ones stop scaling before the allocator
+/// saturates.
+pub fn workers_for(items: usize, min_items_per_worker: usize) -> usize {
+    if items == 0 {
+        return 1;
+    }
+    match configured_threads() {
+        Some(t) => t.clamp(1, items),
+        None => (items / min_items_per_worker.max(1))
+            .min(threads())
+            .clamp(1, MAX_AUTO_WORKERS),
+    }
+}
+
+/// Applies `f` to every input in parallel, preserving input order in the
+/// output. Worker count is `threads()` clamped to the input size; panics
+/// in workers propagate to the caller.
+pub fn sweep<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads().clamp(1, n);
+    if workers == 1 {
+        return inputs.iter().map(f).collect();
+    }
+    record_run(workers, n);
+
+    // Each worker w handles indices w, w + workers, w + 2*workers, ...
+    let worker_outputs: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let inputs = &inputs;
+                let f = &f;
+                scope.spawn(move |_| {
+                    (w..n)
+                        .step_by(workers)
+                        .map(|i| (i, f(&inputs[i])))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope failed");
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for chunk in worker_outputs {
+        for (i, r) in chunk {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index computed"))
+        .collect()
+}
+
+/// Computes `f(0..len)` on `workers` threads, preserving index order, and
+/// returns `None` as soon as any item fails (a cooperative abort flag
+/// stops the remaining workers early). `workers <= 1` runs inline with no
+/// thread or metric overhead — callers pick the count via
+/// [`workers_for`].
+pub fn try_map_indexed<R, F>(len: usize, workers: usize, f: F) -> Option<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize) -> Option<R> + Sync,
+{
+    if workers <= 1 || len < 2 {
+        return (0..len).map(f).collect();
+    }
+    let workers = workers.min(len);
+    record_run(workers, len);
+    let abort = AtomicBool::new(false);
+    let results: Vec<Vec<(usize, Option<R>)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let abort = &abort;
+                scope.spawn(move |_| {
+                    let mut chunk = Vec::with_capacity(len / workers + 1);
+                    for i in (w..len).step_by(workers) {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let r = f(i);
+                        if r.is_none() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        chunk.push((i, r));
+                    }
+                    chunk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+    .expect("pool scope failed");
+    if abort.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for chunk in results {
+        for (i, r) in chunk {
+            out[i] = Some(r?);
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn record_run(workers: usize, items: usize) {
+    let o = obs();
+    o.jobs.incr(1);
+    o.workers.incr(workers as u64);
+    o.items.incr(items as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = sweep(inputs, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert!(sweep(empty, |&x| x).is_empty());
+        assert_eq!(sweep(vec![7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_map_preserves_order_across_worker_counts() {
+        for workers in [1usize, 2, 4, 7] {
+            let out = try_map_indexed(53, workers, |i| Some(i * 3)).unwrap();
+            assert_eq!(out.len(), 53);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * 3, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_aborts_on_failure_in_any_mode() {
+        for workers in [1usize, 4] {
+            assert!(try_map_indexed(40, workers, |i| (i != 17).then_some(i)).is_none());
+        }
+        // Failure at the very first and very last index.
+        assert!(try_map_indexed(40, 4, |i| (i != 0).then_some(i)).is_none());
+        assert!(try_map_indexed(40, 4, |i| (i != 39).then_some(i)).is_none());
+    }
+
+    #[test]
+    fn workers_for_honors_override_and_batching() {
+        // Auto: small inputs stay serial, large ones batch.
+        set_threads(0);
+        assert_eq!(workers_for(10, 256), 1);
+        assert!(workers_for(4096, 256) >= 1);
+        assert!(workers_for(1 << 20, 1) <= MAX_AUTO_WORKERS.max(threads()));
+        // Override wins, clamped to the item count.
+        set_threads(4);
+        assert_eq!(workers_for(100, 256), 4);
+        assert_eq!(workers_for(2, 256), 2);
+        assert_eq!(configured_threads(), Some(4));
+        set_threads(0);
+        assert_eq!(configured_threads(), None);
+    }
+
+    #[test]
+    fn pool_metrics_record_fanout() {
+        let jobs0 = star_obs::counter("pool.jobs").get();
+        let _ = try_map_indexed(64, 3, Some);
+        assert!(star_obs::counter("pool.jobs").get() > jobs0);
+    }
+}

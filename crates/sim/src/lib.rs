@@ -25,7 +25,7 @@
 //!   absorbed between laps by the maintained ring);
 //! - [`broadcast`] — BFS broadcast trees over the healthy machine, the
 //!   latency-optimal counterpart to ring pipelines;
-//! - [`parallel`] — crossbeam-powered parameter sweeps.
+//! - [`parallel`] — parameter sweeps over the shared `star-pool`.
 
 pub mod broadcast;
 pub mod chaos;

@@ -1,59 +1,15 @@
 //! Parallel parameter sweeps over fault scenarios.
 //!
 //! Experiment tables average dozens of seeds per configuration; each
-//! configuration is independent, so the sweep fans out over a crossbeam
-//! scope. Work is interleaved round-robin across workers (configuration
-//! cost is roughly uniform, so static interleaving balances well without
-//! any shared mutable state).
+//! configuration is independent, so the sweep fans out over the
+//! workspace-wide `star-pool` (this module is the pool's original home —
+//! it was promoted so the core embedder could share it without depending
+//! on the simulator). Work is interleaved round-robin across workers
+//! (configuration cost is roughly uniform, so static interleaving
+//! balances well without any shared mutable state), and the worker count
+//! honors `star_pool::set_threads` / the CLI `--threads` flag.
 
-/// Applies `f` to every input in parallel, preserving input order in the
-/// output. Panics in workers propagate to the caller.
-pub fn sweep<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-
-    // Each worker w handles indices w, w + workers, w + 2*workers, ...
-    let worker_outputs: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let inputs = &inputs;
-                let f = &f;
-                scope.spawn(move |_| {
-                    (w..n)
-                        .step_by(workers)
-                        .map(|i| (i, f(&inputs[i])))
-                        .collect::<Vec<(usize, R)>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-    .expect("sweep scope failed");
-
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for chunk in worker_outputs {
-        for (i, r) in chunk {
-            out[i] = Some(r);
-        }
-    }
-    out.into_iter()
-        .map(|slot| slot.expect("every index computed"))
-        .collect()
-}
+pub use star_pool::sweep;
 
 #[cfg(test)]
 mod tests {

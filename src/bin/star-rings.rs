@@ -67,6 +67,8 @@ fn usage() {
          \x20     --trace            stream construction spans, pretty-printed, to\n\
          \x20                        stderr as they close\n\
          \x20     --trace-json <f>   append construction spans to <f> as JSON lines\n\
+         \x20     --threads <t>      worker threads for parallel block expansion\n\
+         \x20                        (0 = auto; also honored by `stats`)\n\
          \x20 star-rings stats <n> [fault options] [--format pretty|prom|json]\n\
          \x20                                             embed once, then dump the\n\
          \x20                                             process-wide star-obs metrics\n\
@@ -187,14 +189,15 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Tracing switches shared by `embed` and `stats`, pre-scanned before
-/// the fault options (which reject anything they don't know).
+/// Tracing/runtime switches shared by `embed` and `stats`, pre-scanned
+/// before the fault options (which reject anything they don't know).
 #[derive(Default)]
 struct TraceOpts {
     stats: bool,
     trace: bool,
     trace_json: Option<String>,
     format: Option<String>,
+    threads: Option<usize>,
 }
 
 /// Splits tracing/output switches off the argument list, returning them
@@ -220,6 +223,15 @@ fn parse_trace_opts(args: &[String]) -> Result<(TraceOpts, Vec<String>), String>
                 }
                 opts.format = Some(f);
             }
+            "--threads" => {
+                i += 1;
+                let t: usize = args
+                    .get(i)
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer (0 = auto)")?;
+                opts.threads = Some(t);
+            }
             other => rest.push(other.to_string()),
         }
         i += 1;
@@ -227,9 +239,13 @@ fn parse_trace_opts(args: &[String]) -> Result<(TraceOpts, Vec<String>), String>
     Ok((opts, rest))
 }
 
-/// Installs the requested span sinks and turns span dispatch on.
+/// Installs the requested span sinks and turns span dispatch on, and
+/// applies the worker-thread override to the shared pool.
 fn enable_tracing(opts: &TraceOpts) -> Result<(), String> {
     use std::sync::Arc;
+    if let Some(t) = opts.threads {
+        star_rings::pool::set_threads(t);
+    }
     if opts.trace {
         star_rings::obs::add_sink(Arc::new(star_rings::obs::StderrPrettySink));
     }

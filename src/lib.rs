@@ -18,6 +18,9 @@
 //! - [`sim`] — ring-workload simulation on faulty star networks.
 //! - [`obs`] — structured tracing and metrics (spans, counters,
 //!   histograms) used by every layer above.
+//! - [`pool`] — the shared work pool: order-preserving parallel maps and
+//!   the process-wide thread-count knob ([`pool::set_threads`], surfaced
+//!   as `--threads` on the CLI).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use star_fault as fault;
 pub use star_graph as graph;
 pub use star_obs as obs;
 pub use star_perm as perm;
+pub use star_pool as pool;
 pub use star_ring as ring;
 pub use star_sim as sim;
 pub use star_verify as verify;

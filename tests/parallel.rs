@@ -1,0 +1,98 @@
+//! Serial/parallel conformance: the worker count must never change the
+//! embedded ring, and the batch API must match the one-by-one path.
+//!
+//! These tests drive the *public* pipeline end-to-end with the pool
+//! forced serial and then forced wide, comparing outputs byte for byte.
+//! They mutate the process-wide `pool::set_threads` knob; that is safe to
+//! race with other tests in this binary precisely because of the
+//! invariant under test — the output is independent of the knob.
+
+use star_rings::fault::{gen, FaultSet};
+use star_rings::perm::{factorial, Parity};
+use star_rings::pool;
+use star_rings::ring::{embed_longest_ring, embed_many};
+use star_rings::verify::check_ring;
+
+/// ≥ 20 seeded fault sets per the acceptance bar: for every n in 5..=7,
+/// the full fault budget across random / worst-case / clustered
+/// placements and several seeds.
+fn scenario_matrix() -> Vec<(usize, FaultSet)> {
+    let mut out = Vec::new();
+    for n in 5..=7usize {
+        for fv in [1usize, n - 3] {
+            for placement in ["random", "worst", "clustered"] {
+                for seed in 200..203u64 {
+                    let faults = match placement {
+                        "worst" => gen::worst_case_same_partite(n, fv, Parity::Even, seed).unwrap(),
+                        "clustered" => {
+                            let m = (2..=n).find(|&m| factorial(m) >= fv as u64).unwrap();
+                            gen::clustered_in_substar(n, fv, m, seed).unwrap()
+                        }
+                        _ => gen::random_vertex_faults(n, fv, seed).unwrap(),
+                    };
+                    out.push((n, faults));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_expansion_is_byte_identical_to_serial() {
+    let scenarios = scenario_matrix();
+    assert!(
+        scenarios.len() >= 20,
+        "acceptance bar: 20+ seeded fault sets"
+    );
+    for (n, faults) in &scenarios {
+        pool::set_threads(1);
+        let serial = embed_longest_ring(*n, faults).unwrap();
+        pool::set_threads(4);
+        let parallel = embed_longest_ring(*n, faults).unwrap();
+        pool::set_threads(0);
+        assert_eq!(
+            serial.vertices(),
+            parallel.vertices(),
+            "n={n} fv={}: worker count changed the ring",
+            faults.vertex_fault_count()
+        );
+        check_ring(*n, parallel.vertices(), faults).unwrap();
+    }
+}
+
+#[test]
+fn embed_many_matches_serial_loop() {
+    let n = 6;
+    let scenarios: Vec<FaultSet> = (0..10)
+        .map(|seed| gen::random_vertex_faults(n, (seed % 4) as usize, 300 + seed).unwrap())
+        .collect();
+    let batch = star_rings::ring::embed_many(n, &scenarios);
+    for (faults, got) in scenarios.iter().zip(&batch) {
+        let got = got.as_ref().unwrap();
+        let solo = embed_longest_ring(n, faults).unwrap();
+        assert_eq!(got.vertices(), solo.vertices());
+        check_ring(n, got.vertices(), faults).unwrap();
+    }
+}
+
+#[test]
+fn embed_many_respects_thread_override() {
+    // The batch API must produce identical results forced serial and
+    // forced wide.
+    let n = 5;
+    let scenarios: Vec<FaultSet> = (0..8)
+        .map(|seed| gen::random_vertex_faults(n, 2, 400 + seed).unwrap())
+        .collect();
+    pool::set_threads(1);
+    let serial = embed_many(n, &scenarios);
+    pool::set_threads(4);
+    let wide = embed_many(n, &scenarios);
+    pool::set_threads(0);
+    for (a, b) in serial.iter().zip(&wide) {
+        assert_eq!(
+            a.as_ref().unwrap().vertices(),
+            b.as_ref().unwrap().vertices()
+        );
+    }
+}

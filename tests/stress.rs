@@ -49,7 +49,40 @@ fn bounded_conformance_sweep() {
 }
 
 #[test]
-#[ignore = "heavy: ~40 seeds x all placements x n=4..8; run with --ignored"]
+fn heavy_conformance_smoke() {
+    // Small-budget smoke for the heavy sweep's distinguishing coverage
+    // (n = 8, which `bounded_conformance_sweep` stops short of), so the
+    // path the nightly job exercises is never fully untested in the
+    // default suite.
+    let mut configs = Vec::new();
+    for placement in ["worst", "random"] {
+        configs.push((8usize, 5usize, placement, 0u64));
+    }
+    sweep(configs, |&(n, fv, placement, seed)| {
+        exercise(n, fv, placement, seed)
+    });
+}
+
+#[test]
+fn heavy_mixed_smoke() {
+    // Small-budget smoke of the mixed vertex+edge sweep path.
+    use star_rings::ring::mixed::embed_with_mixed_faults;
+    let mut configs = Vec::new();
+    for n in 5..=6usize {
+        let budget = n - 3;
+        configs.push((n, 1usize, budget - 1, 0u64));
+    }
+    sweep(configs, |&(n, fv, fe, seed)| {
+        let faults = gen::mixed_faults(n, fv, fe, seed).unwrap();
+        let ring = embed_with_mixed_faults(n, &faults)
+            .unwrap_or_else(|e| panic!("n={n} fv={fv} fe={fe} seed={seed}: {e}"));
+        assert_eq!(ring.len() as u64, factorial(n) - 2 * fv as u64);
+        check_ring(n, ring.vertices(), &faults).unwrap();
+    });
+}
+
+#[test]
+#[ignore = "heavy: ~40 seeds x all placements x n=4..8; nightly CI runs with --ignored"]
 fn heavy_conformance_sweep() {
     let mut configs = Vec::new();
     for n in 4..=8usize {
@@ -67,7 +100,7 @@ fn heavy_conformance_sweep() {
 }
 
 #[test]
-#[ignore = "heavy: mixed vertex+edge sweep; run with --ignored"]
+#[ignore = "heavy: mixed vertex+edge sweep; nightly CI runs with --ignored"]
 fn heavy_mixed_sweep() {
     use star_rings::ring::mixed::embed_with_mixed_faults;
     let mut configs = Vec::new();
