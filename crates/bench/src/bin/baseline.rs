@@ -1,0 +1,71 @@
+//! `baseline` — runs the E11-style embed matrix and writes a
+//! machine-readable perf baseline.
+//!
+//! ```text
+//! baseline [--samples K] [--out FILE]
+//! ```
+//!
+//! Default output is `BENCH_<YYYY-MM-DD>.json` in the current directory;
+//! CI uploads the file as an artifact and `bench-diff` compares it
+//! against the committed known-good baseline (`BENCH_seed.json`).
+
+use std::process::ExitCode;
+
+use star_bench::baseline::{date_slug, run_matrix};
+
+fn main() -> ExitCode {
+    let mut samples = 9usize;
+    let mut out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" => {
+                i += 1;
+                samples = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(k) if k >= 1 => k,
+                    _ => return fail("--samples needs a positive integer"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(p.clone()),
+                    None => return fail("--out needs a file path"),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: baseline [--samples K] [--out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let baseline = run_matrix(samples);
+    let path = out.unwrap_or_else(|| format!("BENCH_{}.json", date_slug(baseline.created_ms)));
+    if let Err(e) = std::fs::write(&path, baseline.to_json()) {
+        return fail(&format!("{path}: {e}"));
+    }
+    println!(
+        "wrote {path} ({} cases, {samples} samples each)",
+        baseline.cases.len()
+    );
+    for c in &baseline.cases {
+        println!(
+            "  {:<22} median {:>12} ns  p95 {:>12} ns  oracle-hit {:>7.3}%  items/worker {:>8.1}",
+            c.name,
+            c.median_ns,
+            c.p95_ns,
+            100.0 * c.oracle_hit_rate,
+            c.pool_items_per_worker
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

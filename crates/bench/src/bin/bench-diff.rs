@@ -1,0 +1,116 @@
+//! `bench-diff` — compares two perf baselines and gates on regressions.
+//!
+//! ```text
+//! bench-diff <base.json> <current.json> [--threshold PCT] [--warn-only]
+//! ```
+//!
+//! Exits nonzero when any case's median wall time regressed by more than
+//! the threshold (default 10%). `--warn-only` prints the same report but
+//! always exits 0 — the PR-gate mode; nightly runs omit it and hard-fail.
+
+use std::process::ExitCode;
+
+use star_bench::baseline::{diff, Baseline, DEFAULT_THRESHOLD};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut warn_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(p) if p > 0.0 => p / 100.0,
+                    _ => return fail("--threshold needs a positive percentage"),
+                };
+            }
+            "--warn-only" => warn_only = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench-diff <base.json> <current.json> [--threshold PCT] [--warn-only]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [base_path, cur_path] = files.as_slice() else {
+        return fail("expected exactly two baseline files (base, current)");
+    };
+    let base = match load(base_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let cur = match load(cur_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+
+    let lines = diff(&base, &cur, threshold);
+    let mut regressions = 0usize;
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}  verdict",
+        "case", "base median", "cur median", "delta"
+    );
+    for l in &lines {
+        let (base_s, cur_s) = (fmt_opt_ns(l.base_median_ns), fmt_opt_ns(l.cur_median_ns));
+        let delta_s = l
+            .median_delta
+            .map(|d| format!("{:+.1}%", 100.0 * d))
+            .unwrap_or_else(|| "-".to_string());
+        let verdict = match (l.regressed, l.base_median_ns, l.cur_median_ns) {
+            (true, ..) => {
+                regressions += 1;
+                "REGRESSED"
+            }
+            (false, None, _) => "new",
+            (false, _, None) => "removed",
+            _ => "ok",
+        };
+        println!(
+            "{:<24} {base_s:>14} {cur_s:>14} {delta_s:>9}  {verdict}",
+            l.name
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench-diff: {regressions} case(s) regressed beyond {:.0}%{}",
+            100.0 * threshold,
+            if warn_only {
+                " (warn-only: not failing)"
+            } else {
+                ""
+            }
+        );
+        if !warn_only {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!(
+            "bench-diff: no median regression beyond {:.0}%",
+            100.0 * threshold
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Baseline::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn fmt_opt_ns(ns: Option<u64>) -> String {
+    match ns {
+        Some(v) => format!("{:.3} ms", v as f64 / 1e6),
+        None => "-".to_string(),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

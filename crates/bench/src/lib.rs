@@ -11,6 +11,9 @@
 //! Criterion benches (`benches/`) cover construction cost (E4) and
 //! substrate micro-costs.
 
+pub mod baseline;
+pub mod jsonv;
+
 use std::fmt::Display;
 use std::fs;
 use std::io::Write as _;

@@ -127,9 +127,13 @@ pub fn embed_with_options(
             root.record("len", ring.len());
             star_obs::incr("embed.success", 1);
         }
-        Err(_) => {
+        Err(e) => {
             root.record("error", 1u64);
             star_obs::incr("embed.error", 1);
+            if star_obs::flightrec::enabled() {
+                star_obs::flightrec::record("embed.error", e.to_string(), &[]);
+                star_obs::flightrec::dump_on_failure("embed.error");
+            }
         }
     }
     result

@@ -153,6 +153,16 @@ impl OracleTable {
         if computed_here {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.obs_miss.incr(1);
+            if star_obs::flightrec::enabled() {
+                star_obs::flightrec::record(
+                    "oracle.miss",
+                    format!("{entry}->{exit}"),
+                    &[(
+                        "fault",
+                        star_obs::FieldValue::U64(u64::from(fault.unwrap_or(NO_FAULT))),
+                    )],
+                );
+            }
         } else {
             // Lost the init race: another thread ran the search; this
             // query was served from the table like any other hit.

@@ -43,18 +43,22 @@
 //! println!("{}", snap.to_prometheus());
 //! ```
 
+pub mod flightrec;
 pub mod hist;
 mod json;
+pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
 
+pub use flightrec::FlightEvent;
 pub use hist::{Histogram, HistogramSnapshot};
+pub use profile::{Profile, ProfileNode};
 pub use registry::{global, Counter, Hist, Registry};
 pub use sink::{
     add_sink, clear_sinks, flush_sinks, format_ns, JsonlSink, RingBufferSink, Sink,
-    StderrPrettySink,
+    StderrPrettySink, SINK_ERROR_COUNTER,
 };
 pub use snapshot::Snapshot;
 pub use span::{

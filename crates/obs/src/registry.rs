@@ -25,26 +25,38 @@ fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 
 /// A monotonically increasing metric. Cloning shares the underlying cell.
 #[derive(Clone)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter {
+    name: Arc<str>,
+    cell: Arc<AtomicU64>,
+}
 
 impl Counter {
-    /// Adds `delta` (no-op while metrics are disabled).
+    /// Adds `delta` (no-op while metrics are disabled). While the flight
+    /// recorder is on, the delta also accumulates into a per-thread
+    /// table and surfaces as an aggregated `counter` flight event (see
+    /// [`crate::flightrec::COUNTER_FLUSH_EVERY`]).
     pub fn incr(&self, delta: u64) {
         if metrics_enabled() {
-            self.0.fetch_add(delta, Ordering::Relaxed);
+            self.cell.fetch_add(delta, Ordering::Relaxed);
         }
+        crate::flightrec::counter_delta(&self.name, delta);
     }
 
     /// Sets the value outright (for gauges reported through counters).
     pub fn set(&self, value: u64) {
         if metrics_enabled() {
-            self.0.store(value, Ordering::Relaxed);
+            self.cell.store(value, Ordering::Relaxed);
         }
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Registry name of this counter.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -80,7 +92,7 @@ impl Hist {
 /// A thread-safe name → metric registry.
 #[derive(Default)]
 pub struct Registry {
-    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    counters: RwLock<BTreeMap<Arc<str>, Arc<AtomicU64>>>,
     hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -92,14 +104,25 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Counter {
-        if let Some(c) = read_lock(&self.counters).get(name) {
-            return Counter(Arc::clone(c));
+        if let Some((key, c)) = read_lock(&self.counters).get_key_value(name) {
+            return Counter {
+                name: Arc::clone(key),
+                cell: Arc::clone(c),
+            };
         }
         let mut map = write_lock(&self.counters);
+        let key: Arc<str> = map
+            .keys()
+            .find(|k| k.as_ref() == name)
+            .cloned()
+            .unwrap_or_else(|| Arc::from(name));
         let c = map
-            .entry(name.to_string())
+            .entry(Arc::clone(&key))
             .or_insert_with(|| Arc::new(AtomicU64::new(0)));
-        Counter(Arc::clone(c))
+        Counter {
+            name: key,
+            cell: Arc::clone(c),
+        }
     }
 
     /// The histogram named `name`, created on first use.
@@ -140,7 +163,7 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         let counters = read_lock(&self.counters)
             .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
             .collect();
         let histograms = read_lock(&self.hists)
             .iter()

@@ -120,8 +120,17 @@ impl Sink for RingBufferSink {
     }
 }
 
+/// Name of the counter that records sink write/flush failures (a failing
+/// trace destination must degrade to telemetry, never panic or spam).
+pub const SINK_ERROR_COUNTER: &str = "obs.sink.error";
+
 /// Writes one JSON object per span to a buffered writer (see
 /// [`SpanRecord::to_json`] for the schema).
+///
+/// I/O errors never propagate out of [`Sink::record`]: each failure
+/// increments [`SINK_ERROR_COUNTER`] in the global registry and the span
+/// is dropped, so tracing to a dead disk degrades instead of killing the
+/// traced pipeline.
 pub struct JsonlSink {
     out: Mutex<BufWriter<Box<dyn Write + Send>>>,
 }
@@ -140,14 +149,24 @@ impl JsonlSink {
     }
 }
 
+fn note_sink_error() {
+    crate::registry::global()
+        .counter(SINK_ERROR_COUNTER)
+        .incr(1);
+}
+
 impl Sink for JsonlSink {
     fn record(&self, span: &SpanRecord) {
         let mut out = lock(&self.out);
-        let _ = writeln!(out, "{}", span.to_json());
+        if writeln!(out, "{}", span.to_json()).is_err() {
+            note_sink_error();
+        }
     }
 
     fn flush(&self) {
-        let _ = lock(&self.out).flush();
+        if lock(&self.out).flush().is_err() {
+            note_sink_error();
+        }
     }
 }
 

@@ -30,8 +30,11 @@ fn prom_name(name: &str) -> String {
 }
 
 impl Snapshot {
-    /// Prometheus text-exposition format: counters as `counter`,
-    /// histograms as `summary` quantile series (values in nanoseconds).
+    /// Prometheus text-exposition format: counters as `counter`
+    /// families, each histogram as **one** `summary` family — quantile
+    /// samples labelled `quantile="…"` plus the canonical `_sum` /
+    /// `_count` — and the observed maximum as a separate `gauge` family
+    /// (`summary` has no max sample). Values are nanoseconds.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -48,6 +51,7 @@ impl Snapshot {
             }
             let _ = writeln!(out, "{pname}_ns_sum {}", h.sum);
             let _ = writeln!(out, "{pname}_ns_count {}", h.count);
+            let _ = writeln!(out, "# TYPE {pname}_ns_max gauge");
             let _ = writeln!(out, "{pname}_ns_max {}", h.max);
         }
         out
@@ -162,12 +166,55 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_format() {
+    fn prometheus_format_exact() {
+        // Exact exposition shape: each counter its own family; each
+        // histogram ONE summary family (quantile labels + _sum/_count)
+        // plus a separate max gauge. Parsers reject stray samples inside
+        // a typed family, so this is byte-for-byte.
+        assert_eq!(
+            sample().to_prometheus(),
+            "\
+# TYPE star_oracle_hit_total counter
+star_oracle_hit_total 41
+# TYPE star_oracle_miss_total counter
+star_oracle_miss_total 1
+# TYPE star_embed_expand_ns summary
+star_embed_expand_ns{quantile=\"0.5\"} 900
+star_embed_expand_ns{quantile=\"0.95\"} 1400
+star_embed_expand_ns{quantile=\"0.99\"} 1500
+star_embed_expand_ns_sum 3000
+star_embed_expand_ns_count 3
+# TYPE star_embed_expand_ns_max gauge
+star_embed_expand_ns_max 1500
+"
+        );
+    }
+
+    #[test]
+    fn prometheus_summary_is_one_family() {
+        // Every sample between a summary's `# TYPE` line and the next
+        // `# TYPE` line must belong to that family (base name, _sum,
+        // _count) — the max gauge gets its own TYPE line.
         let text = sample().to_prometheus();
-        assert!(text.contains("# TYPE star_oracle_hit_total counter"));
-        assert!(text.contains("star_oracle_hit_total 41"));
-        assert!(text.contains("star_embed_expand_ns{quantile=\"0.95\"} 1400"));
-        assert!(text.contains("star_embed_expand_ns_count 3"));
+        let mut family: Option<(String, String)> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').unwrap();
+                family = Some((name.to_string(), kind.to_string()));
+                continue;
+            }
+            let (name, kind) = family.as_ref().expect("sample before any # TYPE");
+            let sample_name = line.split(['{', ' ']).next().unwrap();
+            let ok = match kind.as_str() {
+                "summary" => {
+                    sample_name == name
+                        || sample_name == format!("{name}_sum")
+                        || sample_name == format!("{name}_count")
+                }
+                _ => sample_name == *name,
+            };
+            assert!(ok, "sample {sample_name} outside its {kind} family {name}");
+        }
     }
 
     #[test]

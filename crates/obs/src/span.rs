@@ -37,8 +37,8 @@ static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
-    /// Open span ids on this thread, innermost last.
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Open spans on this thread (`(id, name)`), innermost last.
+    static SPAN_STACK: RefCell<Vec<(u64, &'static str)>> = const { RefCell::new(Vec::new()) };
     /// Whether a [`Capture`] is collecting on this thread.
     static CAPTURING: Cell<bool> = const { Cell::new(false) };
     /// The active capture buffer.
@@ -79,6 +79,17 @@ fn set_bit(bit: u8, on: bool) {
 pub fn process_clock_ns() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// The innermost span currently open on this thread, or `""` — the
+/// "phase" the flight recorder stamps onto events.
+pub fn current_phase() -> &'static str {
+    SPAN_STACK.with(|s| s.borrow().last().map_or("", |(_, name)| name))
+}
+
+/// This thread's small monotonic id (same numbering span records use).
+pub(crate) fn current_thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
 }
 
 /// A typed span-field value.
@@ -256,18 +267,27 @@ pub struct SpanGuard {
 /// (`embed.expand`); the registry histogram for the span's duration uses
 /// the same name.
 pub fn span(name: &'static str) -> SpanGuard {
-    let enabled = STATE.load(Ordering::Relaxed) != 0 || CAPTURING.with(Cell::get);
+    let enabled = STATE.load(Ordering::Relaxed) != 0
+        || CAPTURING.with(Cell::get)
+        || crate::flightrec::enabled();
     if !enabled {
         return SpanGuard { active: None };
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let (parent, depth) = SPAN_STACK.with(|s| {
         let mut s = s.borrow_mut();
-        let parent = s.last().copied();
+        let parent = s.last().map(|(id, _)| *id);
         let depth = s.len() as u32;
-        s.push(id);
+        s.push((id, name));
         (parent, depth)
     });
+    if crate::flightrec::enabled() {
+        crate::flightrec::record(
+            "span.open",
+            name,
+            &[("depth", FieldValue::U64(depth as u64))],
+        );
+    }
     SpanGuard {
         active: Some(Box::new(ActiveSpan {
             name,
@@ -312,10 +332,13 @@ impl Drop for SpanGuard {
         SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
             // Robust to out-of-order drops: remove this id, wherever it is.
-            if let Some(pos) = s.iter().rposition(|&x| x == a.id) {
+            if let Some(pos) = s.iter().rposition(|&(id, _)| id == a.id) {
                 s.remove(pos);
             }
         });
+        if crate::flightrec::enabled() {
+            crate::flightrec::record("span.close", a.name, &[("dur_ns", FieldValue::U64(dur_ns))]);
+        }
         if metrics_enabled() {
             registry::global().histogram(a.name).inner().record(dur_ns);
         }

@@ -212,6 +212,16 @@ fn record_run(workers: usize, items: usize) {
     o.jobs.incr(1);
     o.workers.incr(workers as u64);
     o.items.incr(items as u64);
+    if star_obs::flightrec::enabled() {
+        star_obs::flightrec::record(
+            "pool.dispatch",
+            "pool",
+            &[
+                ("workers", star_obs::FieldValue::U64(workers as u64)),
+                ("items", star_obs::FieldValue::U64(items as u64)),
+            ],
+        );
+    }
 }
 
 #[cfg(test)]

@@ -88,11 +88,28 @@ pub fn token_ring_under_failures(
             let dead: Perm = schedule.order()[next_failure];
             next_failure += 1;
             failures_before += 1;
+            if star_obs::flightrec::enabled() {
+                star_obs::flightrec::record(
+                    "chaos.inject",
+                    dead.to_string(),
+                    &[
+                        ("lap", star_obs::FieldValue::U64(lap as u64)),
+                        ("ordinal", star_obs::FieldValue::U64(next_failure as u64)),
+                    ],
+                );
+            }
             let t0 = Instant::now();
             match mr.fail(dead) {
                 Ok(RepairOutcome::Global) => had_global = true,
                 Ok(RepairOutcome::Local { .. }) => {}
-                Err(_) => unabsorbed += 1,
+                Err(_) => {
+                    unabsorbed += 1;
+                    star_obs::flightrec::record(
+                        "chaos.unabsorbed",
+                        dead.to_string(),
+                        &[("lap", star_obs::FieldValue::U64(lap as u64))],
+                    );
+                }
             }
             pause += t0.elapsed();
         }

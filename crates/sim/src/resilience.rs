@@ -114,6 +114,16 @@ pub fn degrade(n: usize, failures: &[Perm]) -> Result<DegradationTimeline, star_
         faults
             .add_vertex(dead)
             .expect("failure sequence must be distinct");
+        if star_obs::flightrec::enabled() {
+            star_obs::flightrec::record(
+                "chaos.inject",
+                dead.to_string(),
+                &[(
+                    "faults",
+                    star_obs::FieldValue::U64(faults.vertex_fault_count() as u64),
+                )],
+            );
+        }
         let t0 = Instant::now();
         let next = embed_with_options(n, &faults, &opts)?;
         let reembed_time = t0.elapsed();
@@ -163,6 +173,9 @@ pub fn degrade_maintained(
     let mut mr = MaintainedRing::new(n, &FaultSet::empty(n))?;
     let mut steps = Vec::with_capacity(failures.len());
     for &dead in failures {
+        if star_obs::flightrec::enabled() {
+            star_obs::flightrec::record("chaos.inject", dead.to_string(), &[]);
+        }
         let t0 = Instant::now();
         let outcome = match mr.fail(dead) {
             Ok(o) => o,

@@ -29,6 +29,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("info") => cmd_info(&args[1..]),
         Some("embed") => cmd_embed(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("degrade") => cmd_degrade(&args[1..]),
@@ -44,6 +45,12 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
+            if star_rings::obs::flightrec::enabled() {
+                // The failure itself becomes the final event of the
+                // post-mortem record.
+                star_rings::obs::flightrec::record("cli.error", msg.clone(), &[]);
+                star_rings::obs::flightrec::dump_on_failure("cli.error");
+            }
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
@@ -67,11 +74,23 @@ fn usage() {
          \x20     --trace            stream construction spans, pretty-printed, to\n\
          \x20                        stderr as they close\n\
          \x20     --trace-json <f>   append construction spans to <f> as JSON lines\n\
+         \x20     --profile-out <f>  write a collapsed-stack wall-clock profile of the\n\
+         \x20                        embed to <f> (flamegraph.pl-compatible)\n\
          \x20     --threads <t>      worker threads for parallel block expansion\n\
-         \x20                        (0 = auto; also honored by `stats`)\n\
+         \x20                        (0 = auto; also honored by `stats`/`profile`)\n\
+         \x20     --flightrec        record recent events in the flight recorder and\n\
+         \x20                        dump them (flightrec.jsonl) on panic or failure\n\
+         \x20     --flightrec-out <f>  dump file for --flightrec (implies it)\n\
+         \x20 star-rings profile <n> [fault options] [--out <f>]\n\
+         \x20                                             embed once and print per-phase\n\
+         \x20                                             wall-clock attribution (stderr)\n\
+         \x20                                             + collapsed stacks (stdout/<f>)\n\
          \x20 star-rings stats <n> [fault options] [--format pretty|prom|json]\n\
+         \x20                     [--watch <secs> [--frames <k>]]\n\
          \x20                                             embed once, then dump the\n\
-         \x20                                             process-wide star-obs metrics\n\
+         \x20                                             process-wide star-obs metrics;\n\
+         \x20                                             --watch re-embeds and reprints\n\
+         \x20                                             every <secs> seconds\n\
          \x20 star-rings verify <n> <ring-file> [--fault <perm>]...\n\
          \x20                                             check a ring file against faults\n\
          \x20 star-rings degrade <n> [--failures <k>] [--seed <s>]\n\
@@ -198,6 +217,11 @@ struct TraceOpts {
     trace_json: Option<String>,
     format: Option<String>,
     threads: Option<usize>,
+    profile_out: Option<String>,
+    flightrec: bool,
+    flightrec_out: Option<String>,
+    watch: Option<f64>,
+    frames: Option<u64>,
 }
 
 /// Splits tracing/output switches off the argument list, returning them
@@ -232,6 +256,48 @@ fn parse_trace_opts(args: &[String]) -> Result<(TraceOpts, Vec<String>), String>
                     .map_err(|_| "--threads must be an integer (0 = auto)")?;
                 opts.threads = Some(t);
             }
+            "--profile-out" => {
+                i += 1;
+                opts.profile_out = Some(
+                    args.get(i)
+                        .ok_or("--profile-out needs a file path")?
+                        .clone(),
+                );
+            }
+            "--flightrec" => opts.flightrec = true,
+            "--flightrec-out" => {
+                i += 1;
+                opts.flightrec = true;
+                opts.flightrec_out = Some(
+                    args.get(i)
+                        .ok_or("--flightrec-out needs a file path")?
+                        .clone(),
+                );
+            }
+            "--watch" => {
+                i += 1;
+                let secs: f64 = args
+                    .get(i)
+                    .ok_or("--watch needs a period in seconds")?
+                    .parse()
+                    .map_err(|_| "--watch period must be a number of seconds")?;
+                if !(0.0..=3600.0).contains(&secs) {
+                    return Err("--watch period must be in 0..=3600 seconds".to_string());
+                }
+                opts.watch = Some(secs);
+            }
+            "--frames" => {
+                i += 1;
+                let k: u64 = args
+                    .get(i)
+                    .ok_or("--frames needs a count")?
+                    .parse()
+                    .map_err(|_| "--frames must be an integer")?;
+                if k == 0 {
+                    return Err("--frames must be at least 1".to_string());
+                }
+                opts.frames = Some(k);
+            }
             other => rest.push(other.to_string()),
         }
         i += 1;
@@ -256,6 +322,13 @@ fn enable_tracing(opts: &TraceOpts) -> Result<(), String> {
     if opts.trace || opts.trace_json.is_some() {
         star_rings::obs::set_trace_enabled(true);
     }
+    if opts.flightrec {
+        if let Some(path) = &opts.flightrec_out {
+            star_rings::obs::flightrec::set_dump_path(path);
+        }
+        star_rings::obs::flightrec::enable();
+        star_rings::obs::flightrec::install_panic_hook();
+    }
     Ok(())
 }
 
@@ -265,14 +338,28 @@ fn cmd_embed(args: &[String]) -> Result<(), String> {
     if opts.format.is_some() {
         return Err("--format belongs to the `stats` command".to_string());
     }
+    if opts.watch.is_some() || opts.frames.is_some() {
+        return Err("--watch/--frames belong to the `stats` command".to_string());
+    }
+    if opts.stats && opts.profile_out.is_some() {
+        // Both drive the same thread-local span capture; the inner one
+        // would steal the outer one's spans.
+        return Err("--stats and --profile-out are mutually exclusive".to_string());
+    }
     let (faults, print) = parse_faults(n, &rest)?;
     enable_tracing(&opts)?;
-    let result = embed_body(n, &faults, opts.stats, print);
+    let result = embed_body(n, &faults, opts.stats, print, opts.profile_out.as_deref());
     star_rings::obs::flush_sinks();
     result
 }
 
-fn embed_body(n: usize, faults: &FaultSet, stats: bool, print: bool) -> Result<(), String> {
+fn embed_body(
+    n: usize,
+    faults: &FaultSet,
+    stats: bool,
+    print: bool,
+    profile_out: Option<&str>,
+) -> Result<(), String> {
     if stats {
         let (ring, report) =
             star_rings::ring::report::embed_with_report(n, faults).map_err(|e| e.to_string())?;
@@ -318,9 +405,15 @@ fn embed_body(n: usize, faults: &FaultSet, stats: bool, print: bool) -> Result<(
         }
         return Ok(());
     }
+    let cap = profile_out.map(|_| star_rings::obs::capture());
     let t0 = std::time::Instant::now();
     let ring = embed_longest_ring(n, faults).map_err(|e| e.to_string())?;
     let dt = t0.elapsed();
+    if let (Some(cap), Some(path)) = (cap, profile_out) {
+        let profile = star_rings::obs::Profile::from_spans(&cap.finish());
+        std::fs::write(path, profile.collapsed()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("collapsed-stack profile written to {path}");
+    }
     eprintln!(
         "embedded ring of {} / {} vertices ({} faults, {} lost) in {:.2} ms",
         ring.len(),
@@ -339,26 +432,99 @@ fn embed_body(n: usize, faults: &FaultSet, stats: bool, print: bool) -> Result<(
     Ok(())
 }
 
+/// `profile <n> [fault options] [--out <f>]`: one embed under span
+/// capture; per-phase attribution table to stderr, collapsed stacks
+/// (flamegraph.pl input) to stdout or `--out`.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let n = parse_n(args)?;
+    let mut out_path: Option<String> = None;
+    let mut forwarded = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--out" {
+            i += 1;
+            out_path = Some(args.get(i).ok_or("--out needs a file path")?.clone());
+        } else {
+            forwarded.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let (opts, rest) = parse_trace_opts(&forwarded)?;
+    if opts.stats || opts.format.is_some() || opts.profile_out.is_some() || opts.watch.is_some() {
+        return Err("profile takes only fault options, --threads and --out".to_string());
+    }
+    let (faults, _) = parse_faults(n, &rest)?;
+    enable_tracing(&opts)?;
+    let cap = star_rings::obs::capture();
+    let ring = embed_longest_ring(n, &faults).map_err(|e| e.to_string())?;
+    let profile = star_rings::obs::Profile::from_spans(&cap.finish());
+    eprintln!(
+        "embedded ring of {} / {} vertices ({} faults); wall-clock by phase:",
+        ring.len(),
+        factorial(n),
+        faults.vertex_fault_count()
+    );
+    eprint!("{}", profile.render());
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, profile.collapsed()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("collapsed-stack profile written to {path}");
+        }
+        None => print!("{}", profile.collapsed()),
+    }
+    Ok(())
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let n = parse_n(args)?;
     let (opts, rest) = parse_trace_opts(&args[1..])?;
+    if opts.watch.is_none() && opts.frames.is_some() {
+        return Err("--frames requires --watch".to_string());
+    }
     let (faults, _) = parse_faults(n, &rest)?;
     enable_tracing(&opts)?;
-    let (ring, report) =
-        star_rings::ring::report::embed_with_report(n, &faults).map_err(|e| e.to_string())?;
-    eprintln!(
-        "embedded ring of {} / {} vertices ({} faults; report oracle: {} hits, {} searches)",
-        ring.len(),
-        factorial(n),
-        faults.vertex_fault_count(),
-        report.oracle_hits,
-        report.oracle_misses
-    );
-    let snap = star_rings::obs::snapshot();
-    match opts.format.as_deref() {
-        Some("prom") => print!("{}", snap.to_prometheus()),
-        Some("json") => println!("{}", snap.to_json()),
-        _ => print!("{snap}"),
+    let pretty = !matches!(opts.format.as_deref(), Some("prom") | Some("json"));
+    let frames = match opts.watch {
+        Some(_) => opts.frames.unwrap_or(u64::MAX),
+        None => 1,
+    };
+    let mut frame = 0u64;
+    loop {
+        let (ring, report) =
+            star_rings::ring::report::embed_with_report(n, &faults).map_err(|e| e.to_string())?;
+        if opts.watch.is_some() && pretty {
+            // Clear the screen between frames so the table repaints in
+            // place (ANSI erase-display + cursor-home).
+            print!("\x1b[2J\x1b[H");
+        }
+        eprintln!(
+            "embedded ring of {} / {} vertices ({} faults; report oracle: {} hits, {} searches)",
+            ring.len(),
+            factorial(n),
+            faults.vertex_fault_count(),
+            report.oracle_hits,
+            report.oracle_misses
+        );
+        if let Some(secs) = opts.watch {
+            match opts.frames {
+                Some(k) => eprintln!("[watch frame {} of {k}, every {secs}s]", frame + 1),
+                None => eprintln!("[watch frame {}, every {secs}s — ^C to stop]", frame + 1),
+            }
+        }
+        let snap = star_rings::obs::snapshot();
+        match opts.format.as_deref() {
+            Some("prom") => print!("{}", snap.to_prometheus()),
+            Some("json") => println!("{}", snap.to_json()),
+            _ => print!("{snap}"),
+        }
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+        frame += 1;
+        if frame >= frames {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(
+            opts.watch.unwrap_or(0.0),
+        ));
     }
     star_rings::obs::flush_sinks();
     Ok(())

@@ -155,3 +155,91 @@ fn help_is_shown_without_args() {
     assert!(out.status.success());
     assert!(stderr(&out).contains("USAGE"));
 }
+
+#[test]
+fn profile_emits_collapsed_stacks() {
+    let out = run(&["profile", "6", "--worst", "2"]);
+    assert!(out.status.success(), "profile failed: {}", stderr(&out));
+    let collapsed = stdout(&out);
+    assert!(!collapsed.trim().is_empty());
+    for line in collapsed.lines() {
+        // Collapsed-stack grammar: `frame(;frame)* <integer>`.
+        let (path, value) = line.rsplit_once(' ').expect("two fields");
+        assert!(!path.is_empty() && !path.starts_with(';'));
+        assert!(value.parse::<u64>().is_ok(), "bad sample value: {line}");
+    }
+    assert!(collapsed.lines().any(|l| l.starts_with("embed ")));
+    assert!(collapsed.contains("embed;embed.expand "));
+    // The human attribution table goes to stderr.
+    let table = stderr(&out);
+    assert!(table.contains("phase"));
+    assert!(table.contains("self%"));
+}
+
+#[test]
+fn profile_out_writes_file_and_conflicts_with_stats() {
+    let dir = std::env::temp_dir().join("star-rings-cli-profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("embed.collapsed");
+    let out = run(&["embed", "5", "--profile-out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "embed failed: {}", stderr(&out));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.lines().any(|l| l.starts_with("embed ")));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let out = run(&["embed", "5", "--stats", "--profile-out", "/tmp/x.collapsed"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("mutually exclusive"));
+}
+
+#[test]
+fn stats_watch_prints_frames() {
+    let out = run(&["stats", "5", "--watch", "0", "--frames", "2"]);
+    assert!(
+        out.status.success(),
+        "stats --watch failed: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(err.contains("[watch frame 1 of 2, every 0s]"));
+    assert!(err.contains("[watch frame 2 of 2, every 0s]"));
+    // Pretty mode clears the screen between frames.
+    assert!(stdout(&out).contains("\x1b[2J\x1b[H"));
+    // --frames without --watch is rejected.
+    let out = run(&["stats", "5", "--frames", "2"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--frames requires --watch"));
+}
+
+#[test]
+fn flightrec_flag_dumps_on_failure() {
+    let dir = std::env::temp_dir().join("star-rings-cli-flightrec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("rec.jsonl");
+    // An embed over the fault budget fails; the failure path must leave
+    // the dump behind, with the error itself as the final event.
+    let out = run(&[
+        "embed",
+        "5",
+        "--worst",
+        "4",
+        "--flightrec-out",
+        dump.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let text = std::fs::read_to_string(&dump).expect("failure dump written");
+    assert!(text.starts_with("{\"type\":\"flightrec\",\"reason\":\"cli.error\""));
+    assert!(text.contains("\"kind\":\"cli.error\""));
+    assert!(text.contains("budget"));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // A successful run under --flightrec records events but dumps
+    // nothing.
+    let dir2 = std::env::temp_dir().join("star-rings-cli-flightrec-ok");
+    std::fs::create_dir_all(&dir2).unwrap();
+    let dump2 = dir2.join("rec.jsonl");
+    let out = run(&["embed", "5", "--flightrec-out", dump2.to_str().unwrap()]);
+    assert!(out.status.success(), "embed failed: {}", stderr(&out));
+    assert!(!dump2.exists(), "no dump on success");
+    std::fs::remove_dir_all(&dir2).unwrap();
+}

@@ -1,0 +1,98 @@
+//! Acceptance tests for the flight recorder: a chaos-mode sim run that
+//! panics must leave a post-mortem dump with the last >= 256 events,
+//! each carrying phase attribution.
+//!
+//! The panic hook and the recorder are process-global, so everything
+//! runs inside ONE `#[test]` (Rust's default threaded test runner would
+//! otherwise interleave dumps).
+
+use star_rings::fault::schedule;
+use star_rings::obs::flightrec;
+use star_rings::obs::FieldValue;
+
+#[test]
+fn chaos_panic_leaves_a_phase_attributed_dump() {
+    let dump = std::env::temp_dir().join("star_rings_chaos_flightrec.jsonl");
+    let _ = std::fs::remove_file(&dump);
+    flightrec::enable_with_capacity(1024);
+    flightrec::set_dump_path(&dump);
+    flightrec::install_panic_hook();
+
+    // A chaos run under the recorder: failures inject between token-ring
+    // laps, each repair emitting span and aggregated counter events. The
+    // embed that boots the maintained ring streams oracle/expand events
+    // through the same ring buffer; counter deltas aggregate (one event
+    // per flush window), so a burst of distinct-fault embeds provides the
+    // span/oracle event volume the >= 256-event dump needs.
+    let sched = schedule::random_schedule(6, 3, 5).unwrap();
+    let report = star_rings::sim::chaos::token_ring_under_failures(6, &sched, 8).unwrap();
+    assert_eq!(report.laps.len(), 8);
+    let mut seed = 0u64;
+    while flightrec::recorded_total() < 300 && seed < 64 {
+        let faults = star_rings::fault::gen::random_vertex_faults(7, 4, seed).unwrap();
+        star_rings::ring::embed_longest_ring(7, &faults).unwrap();
+        seed += 1;
+    }
+    assert!(
+        flightrec::recorded_total() >= 256,
+        "chaos run recorded only {} events",
+        flightrec::recorded_total()
+    );
+    // The injections themselves are on the record.
+    // (Drained below via the panic-hook dump, not here — draining now
+    // would empty the ring the dump must capture.)
+
+    // Panic mid-chaos on a worker thread: the hook must dump before the
+    // panic propagates as a join error.
+    let worker = std::thread::spawn(|| {
+        let _guard = star_rings::obs::span("sim.chaos");
+        panic!("injected fault storm");
+    });
+    assert!(worker.join().is_err(), "worker must have panicked");
+
+    // The dump exists: header line + one JSONL line per event.
+    let text = std::fs::read_to_string(&dump).expect("panic hook wrote the dump");
+    let mut lines = text.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.starts_with("{\"type\":\"flightrec\",\"reason\":\"panic\""));
+    let events: Vec<&str> = lines.collect();
+    assert!(
+        events.len() >= 256,
+        "dump holds {} events, wanted the last >= 256",
+        events.len()
+    );
+    for line in &events {
+        assert!(line.starts_with("{\"type\":\"event\""), "bad line: {line}");
+        assert!(line.contains("\"phase\":"), "no phase field: {line}");
+    }
+    // Phase attribution is real: chaos-run events carry the sim.chaos
+    // span as their phase, and the injections are visible.
+    assert!(
+        events.iter().any(|l| l.contains("\"phase\":\"sim.chaos\"")),
+        "no event attributed to the sim.chaos phase"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|l| l.contains("\"kind\":\"chaos.inject\"")),
+        "no chaos.inject event in the dump"
+    );
+    assert!(
+        events.iter().any(|l| l.contains("\"kind\":\"panic\"")),
+        "the panic itself must be the final recorded event kind"
+    );
+    let _ = std::fs::remove_file(&dump);
+
+    // -- Recorder API sanity once the dump drained the ring: new events
+    // record with phases from the innermost open span.
+    {
+        let _sp = star_rings::obs::span("embed.expand");
+        flightrec::record("test.acc", "acceptance", &[("k", FieldValue::U64(1))]);
+    }
+    let ev = flightrec::drain()
+        .into_iter()
+        .find(|e| e.name == "acceptance")
+        .expect("event recorded after dump");
+    assert_eq!(ev.phase, "embed.expand");
+    flightrec::disable();
+}
