@@ -1,10 +1,15 @@
-//! A minimal JSON value parser — just enough to read the baseline files
-//! this crate writes (`BENCH_*.json`), with no external dependencies.
+//! A minimal JSON value parser and serializer — enough to read the
+//! baseline files this crate writes (`BENCH_*.json`) and to carry the
+//! `star-serve` wire protocol, with no external dependencies.
 //!
-//! Supports the full JSON grammar except `\uXXXX` surrogate pairs
-//! (escapes outside the BMP round-trip as `\u` + replacement). Numbers
-//! parse as `f64`, which is exact for the integer nanosecond magnitudes
-//! the baselines store (< 2^53).
+//! Supports the full JSON grammar, including `\uXXXX` surrogate pairs
+//! (a lone surrogate decodes to U+FFFD rather than erroring, like most
+//! lenient parsers). Numbers parse as `f64`, which is exact for the
+//! integer nanosecond magnitudes the baselines store (< 2^53).
+//! Serialization (`Display`, and `to_string` through it) escapes `"`, `\`,
+//! the short control escapes (`\n`, `\t`, `\r`, `\b`, `\f`) and every
+//! other control character as `\u00XX`; any value round-trips through
+//! serialize-then-parse.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +80,102 @@ impl Json {
             Json::Arr(items) => Some(items),
             _ => None,
         }
+    }
+}
+
+/// Serializes to canonical JSON (no whitespace). The output always
+/// re-parses to an equal value: strings escape `"`, `\` and all control
+/// characters; non-ASCII text is emitted as raw UTF-8.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    // Rust's shortest-round-trip float formatting.
+                    write!(f, "{v}")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            '\u{8}' => f.write_str("\\b")?,
+            '\u{c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
     }
 }
 
@@ -150,13 +251,24 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        let hex = parse_hex4(bytes, *pos + 1)
                             .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
                         *pos += 4;
+                        if (0xD800..0xDC00).contains(&hex) {
+                            // High surrogate: combine with a following
+                            // `\uDC00..\uDFFF` low surrogate if present;
+                            // a lone surrogate decodes to U+FFFD.
+                            match (bytes.get(*pos + 1..*pos + 3), parse_hex4(bytes, *pos + 3)) {
+                                (Some(b"\\u"), Some(lo)) if (0xDC00..0xE000).contains(&lo) => {
+                                    let c = 0x10000 + ((hex - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+                                    *pos += 6;
+                                }
+                                _ => out.push('\u{fffd}'),
+                            }
+                        } else {
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
@@ -172,6 +284,13 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
 }
 
 fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
@@ -263,8 +382,112 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pairs_decode_to_astral_chars() {
+        // 😀 = U+1F600 = \ud83d\ude00.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("😀")
+        );
+        // A lone high surrogate (followed by ordinary text or EOF) is
+        // lenient-decoded to U+FFFD rather than erroring.
+        assert_eq!(
+            Json::parse("\"\\ud83dx\"").unwrap().as_str(),
+            Some("\u{fffd}x")
+        );
+        assert_eq!(
+            Json::parse("\"\\ud83d\"").unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        // A lone low surrogate too.
+        assert_eq!(
+            Json::parse("\"\\ude00!\"").unwrap().as_str(),
+            Some("\u{fffd}!")
+        );
+    }
+
+    #[test]
     fn empty_containers() {
         assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
         assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn serializer_escapes_and_round_trips_tricky_strings() {
+        for s in [
+            "plain",
+            "quote \" backslash \\ slash /",
+            "newline \n tab \t return \r",
+            "backspace \u{8} formfeed \u{c} bell \u{7}",
+            "unicode é ü 中 😀",
+            "\u{0} nul and \u{1f} unit separator",
+        ] {
+            let doc = Json::Str(s.to_string()).to_string();
+            assert!(
+                doc.bytes().all(|b| b >= 0x20),
+                "control byte leaked unescaped into {doc:?}"
+            );
+            assert_eq!(Json::parse(&doc).unwrap().as_str(), Some(s), "via {doc:?}");
+        }
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).to_string(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    /// Fuzz-style round-trip: pseudo-random nested documents with strings
+    /// drawn from an adversarial character pool must survive
+    /// serialize-then-parse byte-exactly as values.
+    #[test]
+    fn fuzz_round_trip() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+        const POOL: &[char] = &[
+            'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\t', '\r', '\u{8}', '\u{c}', '\u{0}',
+            '\u{1}', '\u{1f}', 'é', '中', '\u{fffd}', '😀', '𝕊',
+        ];
+
+        fn gen_value(rng: &mut StdRng, depth: usize) -> Json {
+            match rng.random_range(0..if depth == 0 { 5u32 } else { 7 }) {
+                0 => Json::Null,
+                1 => Json::Bool(rng.random_range(0..2u32) == 0),
+                2 => Json::Num(rng.random_range(0..1u64 << 53) as f64),
+                3 => Json::Num(rng.random_range(0..1000u64) as f64 / 8.0 - 31.0),
+                4 => {
+                    let len = rng.random_range(0..24usize);
+                    Json::Str(
+                        (0..len)
+                            .map(|_| POOL[rng.random_range(0..POOL.len())])
+                            .collect(),
+                    )
+                }
+                5 => {
+                    let len = rng.random_range(0..4usize);
+                    Json::Arr((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+                }
+                _ => {
+                    let len = rng.random_range(0..4usize);
+                    Json::Obj(
+                        (0..len)
+                            .map(|i| {
+                                let klen = rng.random_range(0..8usize);
+                                let key: String = (0..klen)
+                                    .map(|_| POOL[rng.random_range(0..POOL.len())])
+                                    .chain(std::iter::once(char::from(b'a' + i as u8)))
+                                    .collect();
+                                (key, gen_value(rng, depth - 1))
+                            })
+                            .collect(),
+                    )
+                }
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for i in 0..500 {
+            let value = gen_value(&mut rng, 3);
+            let doc = value.to_string();
+            let back = Json::parse(&doc).unwrap_or_else(|e| panic!("iter {i}: {e} in {doc:?}"));
+            assert_eq!(back, value, "iter {i}: {doc:?}");
+        }
     }
 }

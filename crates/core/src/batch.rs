@@ -102,6 +102,50 @@ mod tests {
     }
 
     #[test]
+    fn invalid_scenarios_do_not_poison_siblings() {
+        // Regression guard for the serve batch path: every *kind* of
+        // invalid scenario — wrong-dimension fault set, edge faults,
+        // over-budget — must surface as a per-item `Err` in its own slot
+        // while every valid sibling still embeds byte-identically to a
+        // solo run.
+        use star_graph::Edge;
+        use star_perm::Perm;
+
+        let n = 6;
+        let wrong_dim = FaultSet::empty(5);
+        let mut edge_faults = FaultSet::empty(n);
+        let u = Perm::identity(n);
+        edge_faults
+            .add_edge(Edge::new(u, u.star_move(2)).unwrap())
+            .unwrap();
+        let over_budget = gen::random_vertex_faults(n, n - 2, 7).unwrap();
+        let valid_a = gen::random_vertex_faults(n, 2, 11).unwrap();
+        let valid_b = gen::random_vertex_faults(n, 3, 13).unwrap();
+
+        let scenarios = vec![
+            valid_a.clone(),
+            wrong_dim,
+            edge_faults,
+            valid_b.clone(),
+            over_budget,
+            FaultSet::empty(n),
+        ];
+        let out = embed_many(n, &scenarios);
+        assert_eq!(out.len(), scenarios.len());
+        assert!(matches!(out[1], Err(EmbedError::DimensionMismatch)));
+        assert!(matches!(out[2], Err(EmbedError::EdgeFaultsUnsupported)));
+        assert!(matches!(out[4], Err(EmbedError::TooManyFaults { .. })));
+        for (i, faults) in [(0, &valid_a), (3, &valid_b), (5, &FaultSet::empty(n))] {
+            let solo = crate::embed_longest_ring(n, faults).unwrap();
+            assert_eq!(
+                out[i].as_ref().unwrap().vertices(),
+                solo.vertices(),
+                "valid scenario {i} must be unaffected by invalid siblings"
+            );
+        }
+    }
+
+    #[test]
     fn small_batches_skip_the_warmup() {
         // Below the threshold the call must still work (and not insist on
         // filling all 14,400 slots first).

@@ -28,7 +28,7 @@
 //! Disabled (the default), every hook is a single relaxed atomic load —
 //! the embed pipeline's hot counters stay at their PR-1 cost. Enabled,
 //! a recorded event is one small allocation plus two atomic RMWs. The
-//! hottest hook by far is [`counter_delta`] (the oracle-hit counter fires
+//! hottest hook by far is the crate-internal `counter_delta` (the oracle-hit counter fires
 //! once per oracle query, hundreds of thousands of times per large
 //! embed), so counter deltas are *aggregated per thread*: each increment
 //! lands in a small thread-local table and one `counter` event (fields

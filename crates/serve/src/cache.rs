@@ -1,0 +1,397 @@
+//! Sharded LRU result cache for embed responses.
+//!
+//! Keyed by `(n, canonical fault set, embed options)`: the fault set is
+//! canonicalized to its sorted Lehmer-rank list, so two requests naming
+//! the same faults in different orders share one entry (embeds are
+//! deterministic, so the cached ring is exactly what a fresh embed would
+//! return). Values are `Arc<[Perm]>` rings; a hit costs one shard mutex
+//! plus an `Arc` clone.
+//!
+//! **Sharding.** Keys map to one of [`SHARDS`] independent
+//! mutex-protected LRU lists by hash, so concurrent workers only contend
+//! when they touch the same shard — with 16 shards and the default 4-8
+//! workers, collisions are rare. The byte budget divides evenly across
+//! shards; per-entry cost is accounted as `ring length × size_of::<Perm>`
+//! plus key and bookkeeping overhead, and each shard evicts from its own
+//! LRU tail when over budget. An entry larger than a shard's whole
+//! budget is simply not admitted.
+//!
+//! **Metrics.** `serve.cache.hit` / `serve.cache.miss` /
+//! `serve.cache.insert` / `serve.cache.evict` counters, and byte/entry
+//! occupancy via [`ResultCache::stats`].
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use star_fault::FaultSet;
+use star_perm::Perm;
+use star_ring::EmbedOptions;
+
+/// Number of independent LRU shards.
+pub const SHARDS: usize = 16;
+
+/// Canonical cache key: dimension, sorted fault ranks, and the embed
+/// options that affect the output ring.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    n: u8,
+    fault_ranks: Vec<u32>,
+    salt: u32,
+    spare_index: u8,
+}
+
+impl CacheKey {
+    /// Builds the canonical key for a scenario. `options.verify` is
+    /// deliberately excluded: verification never changes the ring, so
+    /// verified and unverified requests share entries.
+    pub fn new(n: usize, faults: &FaultSet, options: &EmbedOptions) -> CacheKey {
+        let mut fault_ranks: Vec<u32> = faults.vertices().iter().map(Perm::rank).collect();
+        fault_ranks.sort_unstable();
+        CacheKey {
+            n: n as u8,
+            fault_ranks,
+            salt: options.salt as u32,
+            spare_index: options.spare_index as u8,
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        std::mem::size_of::<CacheKey>() + self.fault_ranks.len() * std::mem::size_of::<u32>()
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() % SHARDS as u64) as usize
+    }
+}
+
+/// Point-in-time occupancy numbers (summed over shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries resident.
+    pub entries: usize,
+    /// Bytes accounted to resident entries.
+    pub bytes: usize,
+    /// Lifetime hits.
+    pub hits: u64,
+    /// Lifetime misses.
+    pub misses: u64,
+    /// Lifetime evictions.
+    pub evictions: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: Arc<[Perm]>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a slab of entries threaded into a doubly-linked recency
+/// list (head = most recent), plus a key → slab-index map.
+struct Shard {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    budget: usize,
+}
+
+impl Shard {
+    fn new(budget: usize) -> Shard {
+        Shard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            budget,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            x => self.slab[x].prev = prev,
+        }
+        self.slab[i].prev = NIL;
+        self.slab[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<[Perm]>> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(Arc::clone(&self.slab[i].value))
+    }
+
+    /// Inserts (or refreshes) an entry; returns evictions performed.
+    fn insert(&mut self, key: CacheKey, value: Arc<[Perm]>) -> u64 {
+        let bytes =
+            key.bytes() + value.len() * std::mem::size_of::<Perm>() + std::mem::size_of::<Entry>();
+        if bytes > self.budget {
+            return 0; // Larger than the whole shard: not admissible.
+        }
+        if let Some(&i) = self.map.get(&key) {
+            // Refresh in place (embeds are deterministic, so the value
+            // cannot differ; just touch recency).
+            self.unlink(i);
+            self.push_front(i);
+            return 0;
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        self.bytes += bytes;
+        let mut evicted = 0;
+        while self.bytes > self.budget {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "over budget with an empty list");
+            if victim == NIL {
+                break;
+            }
+            self.unlink(victim);
+            self.bytes -= self.slab[victim].bytes;
+            let key = self.slab[victim].key.clone();
+            self.map.remove(&key);
+            self.slab[victim].value = Arc::from(Vec::new());
+            self.free.push(victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The sharded LRU cache.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct CacheObs {
+    hit: star_obs::Counter,
+    miss: star_obs::Counter,
+    insert: star_obs::Counter,
+    evict: star_obs::Counter,
+}
+
+fn obs() -> &'static CacheObs {
+    static OBS: OnceLock<CacheObs> = OnceLock::new();
+    OBS.get_or_init(|| CacheObs {
+        hit: star_obs::counter("serve.cache.hit"),
+        miss: star_obs::counter("serve.cache.miss"),
+        insert: star_obs::counter("serve.cache.insert"),
+        evict: star_obs::counter("serve.cache.evict"),
+    })
+}
+
+impl ResultCache {
+    /// A cache with a total byte budget, split evenly across the shards.
+    pub fn with_budget(total_bytes: usize) -> ResultCache {
+        ResultCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard::new(total_bytes / SHARDS)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[key.shard()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a ring, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<[Perm]>> {
+        let found = self.shard(key).get(key);
+        match &found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs().hit.incr(1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs().miss.incr(1);
+            }
+        }
+        found
+    }
+
+    /// Inserts a freshly-embedded ring.
+    pub fn insert(&self, key: CacheKey, value: Arc<[Perm]>) {
+        let evicted = self.shard(&key).insert(key, value);
+        obs().insert.incr(1);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            obs().evict.incr(evicted);
+        }
+    }
+
+    /// Occupancy and lifetime traffic numbers.
+    pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0, 0);
+        for shard in &self.shards {
+            let s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            entries,
+            bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: usize, fault_digits: &[u64], salt: usize) -> CacheKey {
+        let faults =
+            FaultSet::from_vertices(n, fault_digits.iter().map(|&d| Perm::from_digits(n, d)))
+                .unwrap();
+        let opts = EmbedOptions {
+            salt,
+            ..Default::default()
+        };
+        CacheKey::new(n, &faults, &opts)
+    }
+
+    fn ring(len: usize) -> Arc<[Perm]> {
+        (0..len).map(|_| Perm::identity(5)).collect()
+    }
+
+    #[test]
+    fn fault_order_is_canonicalized() {
+        assert_eq!(key(5, &[21345, 32145], 0), key(5, &[32145, 21345], 0));
+        assert_ne!(key(5, &[21345], 0), key(5, &[32145], 0));
+        assert_ne!(key(5, &[21345], 0), key(5, &[21345], 1));
+    }
+
+    #[test]
+    fn verify_option_does_not_split_entries() {
+        let faults = FaultSet::empty(5);
+        let a = CacheKey::new(5, &faults, &EmbedOptions::default());
+        let b = CacheKey::new(
+            5,
+            &faults,
+            &EmbedOptions {
+                verify: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hit_miss_and_insert_round_trip() {
+        let cache = ResultCache::with_budget(1 << 20);
+        let k = key(5, &[21345], 0);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), ring(118));
+        let got = cache.get(&k).expect("hit after insert");
+        assert_eq!(got.len(), 118);
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+        assert!(st.bytes > 118 * std::mem::size_of::<Perm>());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_under_byte_pressure() {
+        // Budget for ~3 entries per shard; all keys forced into one shard
+        // by using one key-shape and brute-forcing... instead, use a tiny
+        // total budget and enough inserts that every shard overflows.
+        let per_entry = 120 * std::mem::size_of::<Perm>();
+        let cache = ResultCache::with_budget(SHARDS * 3 * per_entry);
+        let keys: Vec<CacheKey> = (0..SHARDS * 40).map(|i| key(5, &[], i)).collect();
+        for k in &keys {
+            cache.insert(k.clone(), ring(120));
+        }
+        let st = cache.stats();
+        assert!(st.evictions > 0, "no evictions under pressure");
+        assert!(
+            st.bytes <= SHARDS * 3 * per_entry,
+            "byte budget exceeded: {} > {}",
+            st.bytes,
+            SHARDS * 3 * per_entry
+        );
+        // The most recently inserted key must still be resident.
+        assert!(cache.get(keys.last().unwrap()).is_some());
+    }
+
+    #[test]
+    fn refresh_on_hit_protects_hot_entries() {
+        // One shard-sized budget, keys that all land... keys land on
+        // arbitrary shards; instead verify the refresh path directly on
+        // a shard.
+        let mut shard = Shard::new(10_000);
+        let hot = key(5, &[21345], 0);
+        shard.insert(hot.clone(), ring(8));
+        let mut cold_keys = Vec::new();
+        for i in 1..200 {
+            let k = key(5, &[], i);
+            cold_keys.push(k.clone());
+            shard.insert(k, ring(8));
+            // Touch the hot key so it never ages to the tail.
+            assert!(shard.get(&hot).is_some(), "hot entry evicted at {i}");
+        }
+        assert!(shard.bytes <= 10_000);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_admitted() {
+        let cache = ResultCache::with_budget(SHARDS * 64);
+        let k = key(5, &[], 0);
+        cache.insert(k.clone(), ring(10_000));
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal blocking client for the star-serve protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests
+//! synchronously: write a frame, read a frame. The load generator keeps
+//! a `Client` per connection thread; integration tests use it to drive
+//! a server under test.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use star_bench::jsonv::Json;
+
+use crate::proto::{read_frame, write_frame, FrameRead};
+
+/// A blocking connection to a star-serve instance.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with a connect/read/write timeout.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Client, String> {
+        let sock_addr = addr
+            .parse()
+            .map_err(|e| format!("bad address {addr}: {e}"))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, timeout)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| e.to_string())?;
+        Ok(Client { stream })
+    }
+
+    /// Sends a request without waiting for the response (for pipelining).
+    pub fn send(&mut self, request: &Json) -> Result<(), String> {
+        let body = request.to_string();
+        write_frame(&mut self.stream, body.as_bytes()).map_err(|e| format!("send: {e}"))
+    }
+
+    /// Reads the next response frame, retrying through read timeouts for
+    /// up to `patience`.
+    pub fn recv(&mut self, patience: Duration) -> Result<Json, String> {
+        let start = std::time::Instant::now();
+        loop {
+            match read_frame(&mut self.stream) {
+                Ok(FrameRead::Frame(bytes)) => {
+                    let text = std::str::from_utf8(&bytes)
+                        .map_err(|e| format!("response not UTF-8: {e}"))?;
+                    return Json::parse(text).map_err(|e| format!("response not JSON: {e}"));
+                }
+                Ok(FrameRead::Idle) => {
+                    if start.elapsed() > patience {
+                        return Err("timed out waiting for response".to_string());
+                    }
+                }
+                Ok(FrameRead::Eof) => return Err("server closed the connection".to_string()),
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+
+    /// One synchronous round trip.
+    pub fn call(&mut self, request: &Json) -> Result<Json, String> {
+        self.send(request)?;
+        self.recv(Duration::from_secs(30))
+    }
+
+    /// Sends raw bytes as a frame — for tests that need to violate the
+    /// protocol on purpose.
+    pub fn send_raw(&mut self, body: &[u8]) -> Result<(), String> {
+        write_frame(&mut self.stream, body).map_err(|e| e.to_string())
+    }
+
+    /// Writes raw bytes directly to the socket, bypassing framing.
+    pub fn send_unframed(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.stream.write_all(bytes).map_err(|e| e.to_string())
+    }
+
+    /// Reads until EOF (used after the server hangs up on us).
+    pub fn drain(&mut self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.stream.read_to_end(&mut buf).ok();
+        buf
+    }
+}
+
+/// Builds an `embed` request body.
+pub fn embed_request(id: &str, n: usize, faults: &[String], deadline_ms: Option<u64>) -> Json {
+    let mut members = vec![
+        ("kind".to_string(), Json::from("embed")),
+        ("id".to_string(), Json::from(id)),
+        ("n".to_string(), Json::from(n)),
+        (
+            "faults".to_string(),
+            Json::Arr(faults.iter().map(|f| Json::from(f.as_str())).collect()),
+        ),
+    ];
+    if let Some(ms) = deadline_ms {
+        members.push(("deadline_ms".to_string(), Json::from(ms)));
+    }
+    Json::Obj(members)
+}
+
+/// Builds a bare request of the given kind (`health`, `stats`).
+pub fn plain_request(id: &str, kind: &str) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::from(kind)),
+        ("id".to_string(), Json::from(id)),
+    ])
+}

@@ -1,0 +1,43 @@
+//! star-serve: a networked ring-embedding service for star graphs.
+//!
+//! Exposes the workspace's fault-tolerant ring embedder (the ICPP 1998
+//! longest-ring construction) over TCP with a length-prefixed JSON
+//! protocol, so many clients can share one warmed oracle and one result
+//! cache instead of paying per-process startup.
+//!
+//! ## Wire protocol
+//!
+//! Every message — both directions — is one *frame*: a 4-byte
+//! big-endian length prefix followed by that many bytes of UTF-8 JSON
+//! ([`proto::MAX_FRAME`] caps the length). Requests carry a `kind`
+//! (`embed`, `embed_batch`, `verify`, `stats`, `health`), an optional
+//! client-chosen `id` echoed back verbatim, and an optional
+//! `deadline_ms`. Responses are `{"ok": true, ...}` or `{"ok": false,
+//! "error": <code>, "message": ...}` with codes from
+//! [`proto::ErrorCode`]. Requests on one connection may be pipelined;
+//! responses are matched by `id`, not order.
+//!
+//! ## Architecture
+//!
+//! - [`proto`] — framing, request parsing, response building.
+//! - [`queue`] — the bounded MPMC queue between connection handlers and
+//!   workers; the server's single backpressure point.
+//! - [`cache`] — sharded LRU keyed by `(n, canonical fault set, salt,
+//!   spare index)`; embeds are deterministic, so hits are exact.
+//! - [`server`] — accept loop, connection handlers, worker pool,
+//!   deadline enforcement, graceful drain.
+//! - [`client`] — a small blocking client used by tests and the load
+//!   generator.
+//! - [`loadgen`] — closed-loop load generator emitting `BENCH_*.json`
+//!   summaries.
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use loadgen::{LoadgenConfig, LoadgenReport, Mix};
+pub use server::{request_shutdown, run, ServeConfig, ServeSummary};

@@ -1,0 +1,455 @@
+//! Closed-loop load generator for star-serve.
+//!
+//! Each connection runs its own thread with a deterministic RNG: issue a
+//! request, wait for the response, record the latency, repeat — so
+//! offered load self-limits to what the server sustains (closed loop),
+//! and `--rps` adds pacing on top when a fixed offered rate is wanted.
+//!
+//! The summary reuses the committed `BENCH_*.json` schema
+//! ([`star_bench::baseline`]) so the existing `bench-diff` tooling can
+//! compare loadgen runs. Field mapping (documented here because the
+//! schema predates the server): `oracle_hit_rate` carries the **server
+//! cache hit rate** (fetched via a final `stats` request), and
+//! `pool_items_per_worker` carries the achieved **per-connection
+//! request rate** (req/s ÷ connections).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use star_bench::baseline::{Baseline, BaselineCase};
+use star_bench::jsonv::Json;
+use star_perm::Perm;
+
+use crate::client::{embed_request, plain_request, Client};
+
+/// Load-generator configuration (the CLI's `loadgen` flags).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7411`.
+    pub addr: String,
+    /// Concurrent connections (one thread each).
+    pub conns: usize,
+    /// Target offered rate across all connections (0 = unthrottled).
+    pub rps: u64,
+    /// Run duration.
+    pub duration: Duration,
+    /// Request mix: `embed`, `cached`, or `mixed`.
+    pub mix: Mix,
+    /// RNG seed (per-connection streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            conns: 4,
+            rps: 0,
+            duration: Duration::from_secs(5),
+            mix: Mix::Mixed,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Request mix shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// Fresh random embeds only (`n` in 5..=9) — worst case for the cache.
+    Embed,
+    /// Embeds drawn from a small scenario pool — best case for the cache.
+    Cached,
+    /// 75% pooled embeds (`n` up to 9, served through the cache after a
+    /// one-time miss), 10% fresh embeds (`n` ≤ 7: a fresh `n = 9` embed
+    /// costs ~70 ms of worker CPU and belongs in the `embed` mix, not in
+    /// a throughput workload), 10% health, 5% stats.
+    Mixed,
+}
+
+impl Mix {
+    /// Parses a `--mix` value.
+    pub fn parse(s: &str) -> Result<Mix, String> {
+        match s {
+            "embed" => Ok(Mix::Embed),
+            "cached" => Ok(Mix::Cached),
+            "mixed" => Ok(Mix::Mixed),
+            other => Err(format!("unknown mix `{other}` (embed|cached|mixed)")),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Embed => "embed",
+            Mix::Cached => "cached",
+            Mix::Mixed => "mixed",
+        }
+    }
+}
+
+/// Aggregated outcome of a loadgen run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests answered with `"ok": true`.
+    pub ok: u64,
+    /// Requests answered with a well-formed error response
+    /// (`overloaded`, `deadline_exceeded`, ...), by wire code.
+    pub rejected: Vec<(String, u64)>,
+    /// Protocol-level failures: framing errors, non-JSON responses,
+    /// disconnects. A correct server under any load keeps this at 0.
+    pub protocol_errors: u64,
+    /// Wall-clock duration of the measurement window.
+    pub elapsed: Duration,
+    /// Achieved request rate (ok + rejected, per second).
+    pub rps: f64,
+    /// Server cache hit rate at the end of the run (from `stats`).
+    pub cache_hit_rate: f64,
+    /// Sorted response latencies (ns) of `ok` responses.
+    pub latencies_ns: Vec<u64>,
+    /// Connections that ran.
+    pub conns: usize,
+    /// Mix that was offered.
+    pub mix: Mix,
+}
+
+impl LoadgenReport {
+    fn percentile(&self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_ns.len() as f64 - 1.0) * p).round() as usize;
+        self.latencies_ns[idx.min(self.latencies_ns.len() - 1)]
+    }
+
+    /// Distils the run into the committed benchmark schema (see the
+    /// module docs for the field mapping).
+    pub fn to_baseline(&self) -> Baseline {
+        let created_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let case = BaselineCase {
+            name: format!("loadgen/{}/c{}", self.mix.name(), self.conns),
+            n: 0,
+            mode: self.mix.name().to_string(),
+            samples: self.latencies_ns.len(),
+            median_ns: self.percentile(0.5),
+            p95_ns: self.percentile(0.95),
+            oracle_hit_rate: self.cache_hit_rate,
+            pool_items_per_worker: if self.conns == 0 {
+                0.0
+            } else {
+                self.rps / self.conns as f64
+            },
+        };
+        Baseline {
+            created_ms,
+            cases: vec![case],
+        }
+    }
+
+    /// Human-readable summary block (stderr companion to the JSON).
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loadgen: {} ok, {} protocol errors over {:.2}s ({:.0} req/s, {} conns, mix {})",
+            self.ok,
+            self.protocol_errors,
+            self.elapsed.as_secs_f64(),
+            self.rps,
+            self.conns,
+            self.mix.name()
+        );
+        for (code, count) in &self.rejected {
+            let _ = writeln!(out, "loadgen:   rejected {code}: {count}");
+        }
+        let _ = writeln!(
+            out,
+            "loadgen:   latency p50 {:.1}us  p95 {:.1}us  p99 {:.1}us",
+            self.percentile(0.5) as f64 / 1e3,
+            self.percentile(0.95) as f64 / 1e3,
+            self.percentile(0.99) as f64 / 1e3,
+        );
+        let _ = writeln!(
+            out,
+            "loadgen:   server cache hit rate {:.1}%",
+            self.cache_hit_rate * 100.0
+        );
+        out
+    }
+}
+
+/// A random (valid) permutation of `n` symbols.
+fn random_perm(rng: &mut StdRng, n: usize) -> Perm {
+    let mut digits: Vec<u64> = (1..=n as u64).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        digits.swap(i, j);
+    }
+    let packed = digits.iter().fold(0u64, |acc, d| acc * 10 + d);
+    Perm::from_digits(n, packed)
+}
+
+/// A random fault list for `n`, full budget, identity excluded (the
+/// embedder handles faulted starts, but keeping the pool uniform makes
+/// run-to-run comparisons cleaner).
+fn random_faults(rng: &mut StdRng, n: usize) -> Vec<String> {
+    let budget = n.saturating_sub(3);
+    let count = rng.random_range(0..=budget);
+    let mut out: Vec<String> = Vec::with_capacity(count);
+    while out.len() < count {
+        let p = random_perm(rng, n);
+        let s = p.to_string();
+        if p != Perm::identity(n) && !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Pre-built scenario pool for the `cached` mix: a few fault sets per
+/// `n` so repeats land in the server's result cache.
+fn scenario_pool(seed: u64) -> Vec<(usize, Vec<String>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = Vec::new();
+    for n in 5..=9usize {
+        for _ in 0..4 {
+            pool.push((n, random_faults(&mut rng, n)));
+        }
+    }
+    pool
+}
+
+struct ConnTally {
+    ok: u64,
+    rejected: Vec<(String, u64)>,
+    protocol_errors: u64,
+    latencies_ns: Vec<u64>,
+}
+
+fn run_conn(
+    config: &LoadgenConfig,
+    conn_index: usize,
+    pool: &[(usize, Vec<String>)],
+    stop_at: Instant,
+    issued: &AtomicU64,
+) -> Result<ConnTally, String> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(conn_index as u64 * 0x9e37));
+    let mut client = Client::connect(&config.addr, Duration::from_secs(5))?;
+    let mut tally = ConnTally {
+        ok: 0,
+        rejected: Vec::new(),
+        protocol_errors: 0,
+        latencies_ns: Vec::new(),
+    };
+    // Pace each connection at rps/conns when a target rate is set.
+    let pace = if config.rps > 0 {
+        Some(Duration::from_secs_f64(
+            config.conns as f64 / config.rps as f64,
+        ))
+    } else {
+        None
+    };
+    let mut next_send = Instant::now();
+    let mut req_no = 0u64;
+    while Instant::now() < stop_at {
+        if let Some(pace) = pace {
+            let now = Instant::now();
+            if now < next_send {
+                std::thread::sleep(next_send - now);
+            }
+            next_send += pace;
+        }
+        req_no += 1;
+        let id = format!("c{conn_index}-{req_no}");
+        let request = match config.mix {
+            Mix::Embed => {
+                let n = rng.random_range(5..=9usize);
+                embed_request(&id, n, &random_faults(&mut rng, n), None)
+            }
+            Mix::Cached => {
+                let (n, faults) = &pool[rng.random_range(0..pool.len())];
+                embed_request(&id, *n, faults, None)
+            }
+            Mix::Mixed => match rng.random_range(0..100u64) {
+                0..=74 => {
+                    let (n, faults) = &pool[rng.random_range(0..pool.len())];
+                    embed_request(&id, *n, faults, None)
+                }
+                75..=84 => {
+                    let n = rng.random_range(5..=7usize);
+                    embed_request(&id, n, &random_faults(&mut rng, n), None)
+                }
+                85..=94 => plain_request(&id, "health"),
+                _ => plain_request(&id, "stats"),
+            },
+        };
+        issued.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        match client.call(&request) {
+            Ok(response) => {
+                let elapsed_ns = t0.elapsed().as_nanos() as u64;
+                match response.get("ok") {
+                    Some(Json::Bool(true)) => {
+                        tally.ok += 1;
+                        tally.latencies_ns.push(elapsed_ns);
+                    }
+                    Some(Json::Bool(false)) => {
+                        let code = response
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string();
+                        match tally.rejected.iter_mut().find(|(c, _)| *c == code) {
+                            Some((_, count)) => *count += 1,
+                            None => tally.rejected.push((code, 1)),
+                        }
+                    }
+                    _ => tally.protocol_errors += 1,
+                }
+            }
+            Err(_) => tally.protocol_errors += 1,
+        }
+    }
+    Ok(tally)
+}
+
+/// Runs the load generator and aggregates per-connection tallies.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let pool = scenario_pool(config.seed);
+    let started = Instant::now();
+    let stop_at = started + config.duration;
+    let issued = AtomicU64::new(0);
+    let tallies: Vec<Result<ConnTally, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.conns)
+            .map(|i| {
+                let pool = &pool;
+                let issued = &issued;
+                s.spawn(move || run_conn(config, i, pool, stop_at, issued))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadgenReport {
+        ok: 0,
+        rejected: Vec::new(),
+        protocol_errors: 0,
+        elapsed,
+        rps: 0.0,
+        cache_hit_rate: 0.0,
+        latencies_ns: Vec::new(),
+        conns: config.conns,
+        mix: config.mix,
+    };
+    let mut connect_failures = 0u64;
+    for tally in tallies {
+        match tally {
+            Ok(t) => {
+                report.ok += t.ok;
+                report.protocol_errors += t.protocol_errors;
+                report.latencies_ns.extend(t.latencies_ns);
+                for (code, count) in t.rejected {
+                    match report.rejected.iter_mut().find(|(c, _)| *c == code) {
+                        Some((_, total)) => *total += count,
+                        None => report.rejected.push((code, count)),
+                    }
+                }
+            }
+            Err(e) => {
+                connect_failures += 1;
+                eprintln!("loadgen: connection failed: {e}");
+            }
+        }
+    }
+    report.protocol_errors += connect_failures;
+    report.latencies_ns.sort_unstable();
+    let answered = report.ok + report.rejected.iter().map(|(_, c)| c).sum::<u64>();
+    report.rps = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    // One last stats round trip for the server-side cache hit rate.
+    if let Ok(mut client) = Client::connect(&config.addr, Duration::from_secs(5)) {
+        if let Ok(stats) = client.call(&plain_request("loadgen-final", "stats")) {
+            let cache = stats.get("cache");
+            let hits = cache
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let misses = cache
+                .and_then(|c| c.get("misses"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            if hits + misses > 0.0 {
+                report.cache_hit_rate = hits / (hits + misses);
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_perms_are_valid_and_seeded() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let pa = random_perm(&mut a, 7);
+            let pb = random_perm(&mut b, 7);
+            assert_eq!(pa, pb, "same seed must give the same stream");
+            assert_eq!(pa.n(), 7);
+        }
+    }
+
+    #[test]
+    fn random_faults_respect_budget_and_exclude_identity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let faults = random_faults(&mut rng, 8);
+            assert!(faults.len() <= 5, "budget for n=8 is n-3=5");
+            let id = Perm::identity(8).to_string();
+            assert!(!faults.contains(&id));
+            let mut dedup = faults.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), faults.len(), "faults must be distinct");
+        }
+    }
+
+    #[test]
+    fn scenario_pool_is_deterministic() {
+        assert_eq!(scenario_pool(1), scenario_pool(1));
+        assert_ne!(scenario_pool(1), scenario_pool(2));
+    }
+
+    #[test]
+    fn baseline_mapping_documents_hit_rate_and_per_conn_rate() {
+        let report = LoadgenReport {
+            ok: 100,
+            rejected: vec![("overloaded".to_string(), 4)],
+            protocol_errors: 0,
+            elapsed: Duration::from_secs(2),
+            rps: 52.0,
+            cache_hit_rate: 0.75,
+            latencies_ns: (1..=100).map(|i| i * 1000).collect(),
+            conns: 4,
+            mix: Mix::Mixed,
+        };
+        let baseline = report.to_baseline();
+        let case = &baseline.cases[0];
+        assert_eq!(case.name, "loadgen/mixed/c4");
+        assert_eq!(case.samples, 100);
+        assert!((case.oracle_hit_rate - 0.75).abs() < 1e-12);
+        assert!((case.pool_items_per_worker - 13.0).abs() < 1e-12);
+        // The serialized form must satisfy the committed schema.
+        let parsed = star_bench::baseline::Baseline::from_json(&baseline.to_json()).unwrap();
+        assert_eq!(parsed.cases[0].name, "loadgen/mixed/c4");
+    }
+}

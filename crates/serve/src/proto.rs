@@ -1,0 +1,483 @@
+//! Wire protocol: length-prefixed JSON frames and the request/response
+//! vocabulary.
+//!
+//! Every message is one **frame**: a 4-byte big-endian length followed by
+//! that many bytes of UTF-8 JSON (a single document, [`MAX_FRAME`] cap).
+//! Requests are objects with a `"kind"` discriminator:
+//!
+//! ```text
+//! {"kind":"health"}
+//! {"kind":"stats"}
+//! {"kind":"embed","n":6,"faults":["213456","321456"],"return_ring":true}
+//! {"kind":"embed_batch","n":6,"scenarios":[[],["213456"]]}
+//! {"kind":"verify","n":5,"ring":["12345","21345",...],"faults":[]}
+//! ```
+//!
+//! All work requests accept optional `"id"` (echoed back opaquely),
+//! `"deadline_ms"` (enforced at dequeue — an expired request is answered
+//! `deadline_exceeded` before any embed work runs) and `"options"`
+//! (`{"verify":bool,"salt":int,"spare_index":int}`, the
+//! [`EmbedOptions`] knobs). Responses always carry `"ok"`; failures are
+//! `{"ok":false,"error":<code>,"message":…}` with `error` one of
+//! `bad_request`, `overloaded`, `deadline_exceeded`, `embed_failed`,
+//! `shutting_down`.
+//!
+//! Faults and ring vertices travel as permutation strings in the same
+//! format the CLI uses (digit strings for `n <= 9`, dot-separated
+//! otherwise), so a `nc` session and a ring file round-trip unchanged.
+
+use std::io::{self, Read, Write};
+
+use star_bench::jsonv::Json;
+use star_fault::FaultSet;
+use star_perm::Perm;
+use star_ring::EmbedOptions;
+
+/// Hard cap on a single frame body (16 MiB — a full `n = 12` ring is
+/// far smaller).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Outcome of one [`read_frame`] call.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// The read timed out before the first byte of a frame — the
+    /// connection is idle (the caller's chance to poll shutdown flags).
+    Idle,
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+}
+
+/// Writes one frame (length prefix + body).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame. Timeouts (`WouldBlock`/`TimedOut`) before the first
+/// byte surface as [`FrameRead::Idle`]; once a frame has started, reads
+/// retry through timeouts so a slow client can finish its frame. EOF at
+/// a frame boundary is [`FrameRead::Eof`]; EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                ))
+            }
+            Ok(k) => got += k,
+            Err(e) if is_timeout(&e) && got == 0 => return Ok(FrameRead::Idle),
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame body",
+                ))
+            }
+            Ok(k) => got += k,
+            Err(e) if is_timeout(&e) || e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(body))
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Stable error codes carried in the `"error"` field of a failure
+/// response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not a well-formed request.
+    BadRequest,
+    /// The request queue was at its high-water mark.
+    Overloaded,
+    /// The request's deadline expired before a worker picked it up.
+    DeadlineExceeded,
+    /// The embedder rejected the scenario (out of budget, …).
+    EmbedFailed,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::EmbedFailed => "embed_failed",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A parsed work request body.
+#[derive(Debug, Clone)]
+pub enum RequestBody {
+    /// Liveness probe (answered inline, never queued).
+    Health,
+    /// Metrics snapshot (answered inline, never queued).
+    Stats,
+    /// One embed: longest healthy ring for a fault scenario.
+    Embed {
+        /// Star-graph dimension.
+        n: usize,
+        /// The fault scenario.
+        faults: FaultSet,
+        /// Include the full ring in the response (`ring_len` is always
+        /// present; the vertex list is opt-in to keep frames small).
+        return_ring: bool,
+    },
+    /// Many independent scenarios over the same `S_n`, dispatched through
+    /// `core::embed_many`.
+    EmbedBatch {
+        /// Star-graph dimension.
+        n: usize,
+        /// Per-item scenario parse results: a scenario that fails to
+        /// parse becomes a per-item error without poisoning siblings.
+        scenarios: Vec<Result<FaultSet, String>>,
+        /// Include full rings in the per-item responses.
+        return_ring: bool,
+    },
+    /// Ring validity check against a fault set.
+    Verify {
+        /// Star-graph dimension.
+        n: usize,
+        /// The candidate ring.
+        ring: Vec<Perm>,
+        /// Faults it must avoid.
+        faults: FaultSet,
+    },
+}
+
+/// A parsed request: common envelope fields plus the body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Opaque client correlation id, echoed into the response.
+    pub id: Option<String>,
+    /// Per-request deadline budget in milliseconds (from receipt).
+    pub deadline_ms: Option<u64>,
+    /// Embedder knobs.
+    pub options: EmbedOptions,
+    /// The request body.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// Parses a frame body into a request.
+    pub fn parse(bytes: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "frame is not UTF-8".to_string())?;
+        let doc = Json::parse(text)?;
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing `kind`")?;
+        let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
+        let deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
+        let options = parse_options(doc.get("options"))?;
+        let body = match kind {
+            "health" => RequestBody::Health,
+            "stats" => RequestBody::Stats,
+            "embed" => {
+                let n = parse_n(&doc)?;
+                let faults = parse_faults(n, doc.get("faults"))?;
+                RequestBody::Embed {
+                    n,
+                    faults,
+                    return_ring: bool_field(&doc, "return_ring"),
+                }
+            }
+            "embed_batch" => {
+                let n = parse_n(&doc)?;
+                let scenarios = doc
+                    .get("scenarios")
+                    .and_then(Json::as_arr)
+                    .ok_or("embed_batch needs a `scenarios` array")?
+                    .iter()
+                    .map(|s| parse_faults(n, Some(s)))
+                    .collect();
+                RequestBody::EmbedBatch {
+                    n,
+                    scenarios,
+                    return_ring: bool_field(&doc, "return_ring"),
+                }
+            }
+            "verify" => {
+                let n = parse_n(&doc)?;
+                let ring = doc
+                    .get("ring")
+                    .and_then(Json::as_arr)
+                    .ok_or("verify needs a `ring` array")?
+                    .iter()
+                    .map(|v| parse_perm(n, v))
+                    .collect::<Result<Vec<Perm>, String>>()?;
+                let faults = parse_faults(n, doc.get("faults"))?;
+                RequestBody::Verify { n, ring, faults }
+            }
+            other => return Err(format!("unknown request kind `{other}`")),
+        };
+        Ok(Request {
+            id,
+            deadline_ms,
+            options,
+            body,
+        })
+    }
+
+    /// The request kind as a metric-label string.
+    pub fn kind(&self) -> &'static str {
+        match self.body {
+            RequestBody::Health => "health",
+            RequestBody::Stats => "stats",
+            RequestBody::Embed { .. } => "embed",
+            RequestBody::EmbedBatch { .. } => "embed_batch",
+            RequestBody::Verify { .. } => "verify",
+        }
+    }
+}
+
+fn bool_field(doc: &Json, key: &str) -> bool {
+    matches!(doc.get(key), Some(Json::Bool(true)))
+}
+
+fn parse_n(doc: &Json) -> Result<usize, String> {
+    let n = doc
+        .get("n")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer `n`")? as usize;
+    if !(3..=star_perm::MAX_N).contains(&n) {
+        return Err(format!("n must be in 3..={}", star_perm::MAX_N));
+    }
+    Ok(n)
+}
+
+fn parse_perm(n: usize, v: &Json) -> Result<Perm, String> {
+    let text = v.as_str().ok_or("permutations must be strings")?;
+    let p: Perm = text.parse().map_err(|e| format!("`{text}`: {e}"))?;
+    if p.n() != n {
+        return Err(format!("`{text}` has {} symbols, expected {n}", p.n()));
+    }
+    Ok(p)
+}
+
+/// Parses an optional fault array (`None`/`null` means no faults).
+fn parse_faults(n: usize, v: Option<&Json>) -> Result<FaultSet, String> {
+    let mut faults = FaultSet::empty(n);
+    let items = match v {
+        None | Some(Json::Null) => return Ok(faults),
+        Some(v) => v.as_arr().ok_or("`faults` must be an array of strings")?,
+    };
+    for item in items {
+        faults
+            .add_vertex(parse_perm(n, item)?)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(faults)
+}
+
+fn parse_options(v: Option<&Json>) -> Result<EmbedOptions, String> {
+    let mut opts = EmbedOptions::default();
+    let doc = match v {
+        None | Some(Json::Null) => return Ok(opts),
+        Some(v) => v,
+    };
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("`options` must be an object".to_string());
+    }
+    if let Some(b) = doc.get("verify") {
+        match b {
+            Json::Bool(b) => opts.verify = *b,
+            _ => return Err("options.verify must be a boolean".to_string()),
+        }
+    }
+    if let Some(s) = doc.get("salt") {
+        opts.salt = s.as_u64().ok_or("options.salt must be an integer")? as usize;
+    }
+    if let Some(s) = doc.get("spare_index") {
+        let idx = s.as_u64().ok_or("options.spare_index must be an integer")? as usize;
+        if idx > 3 {
+            return Err("options.spare_index must be in 0..=3".to_string());
+        }
+        opts.spare_index = idx;
+    }
+    Ok(opts)
+}
+
+/// Builds a failure response.
+pub fn error_response(id: Option<&str>, code: ErrorCode, message: &str) -> Json {
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::from(code.as_str())),
+        ("message".to_string(), Json::from(message)),
+    ];
+    if let Some(id) = id {
+        members.push(("id".to_string(), Json::from(id)));
+    }
+    Json::Obj(members)
+}
+
+/// Builds a success response from kind-specific members (prepends
+/// `ok`/`kind`, appends the echoed `id`).
+pub fn ok_response(id: Option<&str>, kind: &str, members: Vec<(String, Json)>) -> Json {
+    let mut out = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("kind".to_string(), Json::from(kind)),
+    ];
+    out.extend(members);
+    if let Some(id) = id {
+        out.push(("id".to_string(), Json::from(id)));
+    }
+    Json::Obj(out)
+}
+
+/// Renders a ring as its wire form (array of permutation strings).
+pub fn ring_to_json(vertices: &[Perm]) -> Json {
+    Json::Arr(vertices.iter().map(|p| Json::from(p.to_string())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, br#"{"kind":"health"}"#).unwrap();
+        write_frame(&mut buf, b"{}").unwrap();
+        let mut r = &buf[..];
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(b) => assert_eq!(b, br#"{"kind":"health"}"#),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(b) => assert_eq!(b, b"{}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_error() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(read_frame(&mut &oversized[..]).is_err());
+
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, b"{\"kind\":\"health\"}").unwrap();
+        truncated.truncate(truncated.len() - 3);
+        let mut r = &truncated[..];
+        assert!(read_frame(&mut r).is_err());
+
+        // EOF inside the length prefix.
+        let partial = [0u8, 0];
+        assert!(read_frame(&mut &partial[..]).is_err());
+    }
+
+    #[test]
+    fn parses_embed_request() {
+        let req = Request::parse(
+            br#"{"kind":"embed","n":5,"faults":["21345"],"id":"r1",
+                "deadline_ms":250,"options":{"verify":false,"salt":2}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id.as_deref(), Some("r1"));
+        assert_eq!(req.deadline_ms, Some(250));
+        assert!(!req.options.verify);
+        assert_eq!(req.options.salt, 2);
+        match req.body {
+            RequestBody::Embed {
+                n,
+                faults,
+                return_ring,
+            } => {
+                assert_eq!(n, 5);
+                assert_eq!(faults.vertex_fault_count(), 1);
+                assert!(!return_ring);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_scenario_parse_errors_are_per_item() {
+        let req = Request::parse(
+            br#"{"kind":"embed_batch","n":5,"scenarios":[[],["21345"],["999"],["21345","21345"]]}"#,
+        )
+        .unwrap();
+        match req.body {
+            RequestBody::EmbedBatch { scenarios, .. } => {
+                assert_eq!(scenarios.len(), 4);
+                assert!(scenarios[0].is_ok());
+                assert!(scenarios[1].is_ok());
+                assert!(scenarios[2].is_err(), "bad perm must fail alone");
+                assert!(scenarios[3].is_err(), "duplicate fault must fail alone");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"n":5}"#,
+            br#"{"kind":"teleport"}"#,
+            br#"{"kind":"embed"}"#,
+            br#"{"kind":"embed","n":99}"#,
+            br#"{"kind":"embed","n":5,"faults":"21345"}"#,
+            br#"{"kind":"embed","n":5,"options":{"spare_index":9}}"#,
+            br#"{"kind":"verify","n":5}"#,
+            b"\xff\xfe",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn responses_have_stable_shape() {
+        let ok = ok_response(
+            Some("a"),
+            "embed",
+            vec![("ring_len".into(), Json::from(118u64))],
+        );
+        assert_eq!(
+            ok.to_string(),
+            r#"{"ok":true,"kind":"embed","ring_len":118,"id":"a"}"#
+        );
+        let err = error_response(None, ErrorCode::Overloaded, "queue full");
+        assert_eq!(
+            err.to_string(),
+            r#"{"ok":false,"error":"overloaded","message":"queue full"}"#
+        );
+    }
+}

@@ -1,0 +1,738 @@
+//! The multi-threaded TCP server.
+//!
+//! ## Request path
+//!
+//! ```text
+//! accept loop ──► connection threads ──► bounded queue ──► worker threads
+//!   (poll)          (parse frames,        (admission        (deadline check,
+//!                    answer health/        control,          cache lookup,
+//!                    stats inline)         high-water        embed, respond)
+//!                                          rejects)
+//! ```
+//!
+//! Each accepted connection gets a handler thread that reads frames and
+//! answers `health`/`stats` inline — liveness probes must never queue
+//! behind embed work. Work requests are stamped with a receipt time and
+//! deadline and pushed into the [`BoundedQueue`]; a full queue answers
+//! `overloaded` immediately (the producer never blocks on a consumer).
+//! Workers pop, reject anything whose deadline already expired
+//! (**before** any embed work runs), consult the [`ResultCache`], embed
+//! on miss, and write the response frame straight to the owning
+//! connection — so responses to pipelined requests may arrive out of
+//! order, correlated via the echoed `id`.
+//!
+//! ## Graceful shutdown
+//!
+//! SIGINT/SIGTERM set a process-global flag. The accept loop stops, the
+//! queue closes (new work answers `shutting_down`, queued work drains),
+//! workers finish the backlog and exit, the flight recorder (when
+//! enabled) is flushed to its dump path, and `run` returns `Ok` — the
+//! CLI then exits 0.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use star_bench::jsonv::Json;
+use star_ring::{embed_many_with_options, embed_with_options, EmbedOptions};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::proto::{
+    error_response, ok_response, read_frame, ring_to_json, write_frame, ErrorCode, FrameRead,
+    Request, RequestBody,
+};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Idle-poll period for connection reads and worker pops; bounds how
+/// long shutdown waits on a quiescent thread.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration (the CLI's `serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7411` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads (0 = auto: hardware parallelism capped at 8).
+    pub threads: usize,
+    /// Request-queue high-water mark.
+    pub queue_capacity: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Default per-request deadline in ms (`None` = no deadline unless
+    /// the request carries one).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            threads: 0,
+            queue_capacity: 256,
+            // Must hold full n = 9 rings: 9! vertices × 13 B ≈ 4.5 MiB
+            // per entry, and the 16-way sharding means a single entry
+            // needs a shard budget (total/16) above that — 256 MiB total
+            // gives 16 MiB shards, ~3 worst-case entries each.
+            cache_bytes: 256 << 20,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Totals reported by [`run`] after a graceful shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeSummary {
+    /// Work requests answered successfully (including cache hits).
+    pub served: u64,
+    /// Requests rejected at the high-water mark.
+    pub rejected_overloaded: u64,
+    /// Requests expired before a worker picked them up.
+    pub rejected_deadline: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+}
+
+/// Process-global shutdown flag — set by the signal handler, observed by
+/// every loop. Public to the crate so tests can reset it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Requests a graceful shutdown of the running server (same effect as
+/// SIGINT).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+fn shutting_down() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        // An atomic store is async-signal-safe; everything else happens
+        // on the server threads that poll the flag.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// One client connection: the write half, shared between the handler
+/// thread (inline responses) and workers (queued responses).
+struct Conn {
+    stream: Mutex<TcpStream>,
+    peer: String,
+}
+
+impl Conn {
+    fn respond(&self, ctx: &Ctx, response: &Json) {
+        let body = response.to_string();
+        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if write_frame(&mut *stream, body.as_bytes()).is_err() {
+            // The client went away; the request was still served.
+            ctx.obs.write_errors.incr(1);
+        }
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    request: Request,
+    conn: Arc<Conn>,
+    received: Instant,
+    deadline: Option<Instant>,
+}
+
+struct ServeObs {
+    accepted: star_obs::Counter,
+    requests: star_obs::Counter,
+    served: star_obs::Counter,
+    bad_request: star_obs::Counter,
+    rejected_overloaded: star_obs::Counter,
+    rejected_deadline: star_obs::Counter,
+    rejected_shutdown: star_obs::Counter,
+    embed_failed: star_obs::Counter,
+    write_errors: star_obs::Counter,
+    queue_depth: star_obs::Hist,
+    lat_embed: star_obs::Hist,
+    lat_batch: star_obs::Hist,
+    lat_verify: star_obs::Hist,
+}
+
+fn obs() -> &'static ServeObs {
+    static OBS: OnceLock<ServeObs> = OnceLock::new();
+    OBS.get_or_init(|| ServeObs {
+        accepted: star_obs::counter("serve.conn.accepted"),
+        requests: star_obs::counter("serve.requests"),
+        served: star_obs::counter("serve.served"),
+        bad_request: star_obs::counter("serve.bad_request"),
+        rejected_overloaded: star_obs::counter("serve.rejected.overloaded"),
+        rejected_deadline: star_obs::counter("serve.rejected.deadline"),
+        rejected_shutdown: star_obs::counter("serve.rejected.shutdown"),
+        embed_failed: star_obs::counter("serve.embed_failed"),
+        write_errors: star_obs::counter("serve.write_errors"),
+        queue_depth: star_obs::histogram("serve.queue.depth"),
+        lat_embed: star_obs::histogram("serve.latency.embed"),
+        lat_batch: star_obs::histogram("serve.latency.embed_batch"),
+        lat_verify: star_obs::histogram("serve.latency.verify"),
+    })
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+struct Ctx {
+    queue: BoundedQueue<Job>,
+    cache: ResultCache,
+    obs: &'static ServeObs,
+    started: Instant,
+    default_deadline: Option<Duration>,
+    queue_capacity: usize,
+    active_conns: AtomicUsize,
+    served: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_deadline: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Runs the server until SIGINT/SIGTERM (or [`request_shutdown`]),
+/// then drains and returns the lifetime totals.
+///
+/// Prints exactly one line to stdout once the socket is bound —
+/// `star-serve listening on <addr>` — so callers (tests, scripts) can
+/// discover the port when the config asked for `:0`.
+pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    install_signal_handlers();
+
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let workers = match config.threads {
+        0 => star_pool::threads().min(8),
+        t => t,
+    };
+    // First requests should not pay for the Lemma-4 oracle build.
+    star_ring::oracle::warm();
+
+    let ctx = Arc::new(Ctx {
+        queue: BoundedQueue::new(config.queue_capacity),
+        cache: ResultCache::with_budget(config.cache_bytes),
+        obs: obs(),
+        started: Instant::now(),
+        default_deadline: config.default_deadline_ms.map(Duration::from_millis),
+        queue_capacity: config.queue_capacity,
+        active_conns: AtomicUsize::new(0),
+        served: AtomicU64::new(0),
+        rejected_overloaded: AtomicU64::new(0),
+        rejected_deadline: AtomicU64::new(0),
+        connections: AtomicU64::new(0),
+    });
+
+    println!("star-serve listening on {local}");
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "star-serve: {workers} workers, queue {}, cache {} MiB",
+        config.queue_capacity,
+        config.cache_bytes >> 20
+    );
+
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&ctx))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Accept loop: poll so the shutdown flag is honored promptly.
+    while !shutting_down() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                ctx.connections.fetch_add(1, Ordering::Relaxed);
+                ctx.obs.accepted.incr(1);
+                if star_obs::flightrec::enabled() {
+                    star_obs::flightrec::record("serve.accept", peer.to_string(), &[]);
+                }
+                ctx.active_conns.fetch_add(1, Ordering::SeqCst);
+                let ctx = Arc::clone(&ctx);
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        handle_conn(&ctx, stream, peer.to_string());
+                        ctx.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+
+    // Drain: stop admitting, finish the backlog, flush telemetry.
+    eprintln!("star-serve: shutdown requested — draining queue");
+    ctx.queue.close();
+    for h in worker_handles {
+        let _ = h.join();
+    }
+    // Give in-flight connection handlers one poll period to notice.
+    let waited = Instant::now();
+    while ctx.active_conns.load(Ordering::SeqCst) > 0 && waited.elapsed() < Duration::from_secs(2) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if star_obs::flightrec::enabled() && star_obs::flightrec::recorded_total() > 0 {
+        let path = star_obs::flightrec::dump_path();
+        match star_obs::flightrec::dump_to(&path, "serve.shutdown") {
+            Ok(n) => eprintln!(
+                "star-serve: flight recorder flushed ({n} events) to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("star-serve: flight recorder flush failed: {e}"),
+        }
+    }
+    let summary = ServeSummary {
+        served: ctx.served.load(Ordering::Relaxed),
+        rejected_overloaded: ctx.rejected_overloaded.load(Ordering::Relaxed),
+        rejected_deadline: ctx.rejected_deadline.load(Ordering::Relaxed),
+        connections: ctx.connections.load(Ordering::Relaxed),
+    };
+    eprintln!(
+        "star-serve: drained — {} served, {} overloaded, {} deadline-expired, {} connections",
+        summary.served, summary.rejected_overloaded, summary.rejected_deadline, summary.connections
+    );
+    Ok(summary)
+}
+
+fn handle_conn(ctx: &Ctx, stream: TcpStream, peer: String) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL)).ok();
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Conn {
+        stream: Mutex::new(stream),
+        peer,
+    });
+    loop {
+        match read_frame(&mut reader) {
+            Ok(FrameRead::Idle) => {
+                if shutting_down() {
+                    return;
+                }
+            }
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Frame(bytes)) => handle_frame(ctx, &conn, &bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Frame-layer violation (oversized length prefix): tell
+                // the client, then drop the connection — the stream is no
+                // longer in sync.
+                conn.respond(
+                    ctx,
+                    &error_response(None, ErrorCode::BadRequest, &e.to_string()),
+                );
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_frame(ctx: &Ctx, conn: &Arc<Conn>, bytes: &[u8]) {
+    ctx.obs.requests.incr(1);
+    let received = Instant::now();
+    let request = match Request::parse(bytes) {
+        Ok(r) => r,
+        Err(msg) => {
+            ctx.obs.bad_request.incr(1);
+            conn.respond(ctx, &error_response(None, ErrorCode::BadRequest, &msg));
+            return;
+        }
+    };
+    match request.body {
+        // Control-plane requests answer inline: they must stay cheap and
+        // must not queue behind (or be rejected with) embed work.
+        RequestBody::Health => {
+            let status = if shutting_down() {
+                "draining"
+            } else {
+                "serving"
+            };
+            conn.respond(
+                ctx,
+                &ok_response(
+                    request.id.as_deref(),
+                    "health",
+                    vec![
+                        ("status".to_string(), Json::from(status)),
+                        (
+                            "uptime_ms".to_string(),
+                            Json::from(ctx.started.elapsed().as_millis() as u64),
+                        ),
+                    ],
+                ),
+            );
+        }
+        RequestBody::Stats => {
+            conn.respond(ctx, &stats_response(ctx, request.id.as_deref()));
+        }
+        _ => {
+            let deadline = request
+                .deadline_ms
+                .map(Duration::from_millis)
+                .or(ctx.default_deadline)
+                .map(|d| received + d);
+            let job = Job {
+                request,
+                conn: Arc::clone(conn),
+                received,
+                deadline,
+            };
+            match ctx.queue.try_push(job) {
+                Ok(depth) => {
+                    ctx.obs.queue_depth.observe_ns(depth as u64);
+                }
+                Err(PushError::Overloaded(job)) => {
+                    ctx.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                    ctx.obs.rejected_overloaded.incr(1);
+                    if star_obs::flightrec::enabled() {
+                        star_obs::flightrec::record(
+                            "serve.reject",
+                            job.conn.peer.clone(),
+                            &[(
+                                "queue_depth",
+                                star_obs::FieldValue::U64(ctx.queue_capacity as u64),
+                            )],
+                        );
+                    }
+                    job.conn.respond(
+                        ctx,
+                        &error_response(
+                            job.request.id.as_deref(),
+                            ErrorCode::Overloaded,
+                            &format!("request queue at high-water mark ({})", ctx.queue_capacity),
+                        ),
+                    );
+                }
+                Err(PushError::Closed(job)) => {
+                    ctx.obs.rejected_shutdown.incr(1);
+                    job.conn.respond(
+                        ctx,
+                        &error_response(
+                            job.request.id.as_deref(),
+                            ErrorCode::ShuttingDown,
+                            "server is draining",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn stats_response(ctx: &Ctx, id: Option<&str>) -> Json {
+    let cache = ctx.cache.stats();
+    ok_response(
+        id,
+        "stats",
+        vec![
+            ("queue_depth".to_string(), Json::from(ctx.queue.depth())),
+            ("queue_capacity".to_string(), Json::from(ctx.queue_capacity)),
+            (
+                "connections_active".to_string(),
+                Json::from(ctx.active_conns.load(Ordering::SeqCst)),
+            ),
+            (
+                "served".to_string(),
+                Json::from(ctx.served.load(Ordering::Relaxed)),
+            ),
+            (
+                "rejected_overloaded".to_string(),
+                Json::from(ctx.rejected_overloaded.load(Ordering::Relaxed)),
+            ),
+            (
+                "rejected_deadline".to_string(),
+                Json::from(ctx.rejected_deadline.load(Ordering::Relaxed)),
+            ),
+            (
+                "cache".to_string(),
+                Json::Obj(vec![
+                    ("entries".to_string(), Json::from(cache.entries)),
+                    ("bytes".to_string(), Json::from(cache.bytes)),
+                    ("hits".to_string(), Json::from(cache.hits)),
+                    ("misses".to_string(), Json::from(cache.misses)),
+                    ("evictions".to_string(), Json::from(cache.evictions)),
+                ]),
+            ),
+        ],
+    )
+}
+
+fn worker_loop(ctx: &Ctx) {
+    loop {
+        match ctx.queue.pop(POLL) {
+            Some(job) => handle_job(ctx, job),
+            None => {
+                if ctx.queue.is_closed() {
+                    star_obs::flightrec::flush_pending_counters();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_job(ctx: &Ctx, job: Job) {
+    // Deadline enforcement happens here, at dequeue, before any embed
+    // work runs: a request that waited out its budget in the queue is
+    // answered `deadline_exceeded` without touching the embedder.
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            ctx.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            ctx.obs.rejected_deadline.incr(1);
+            if star_obs::flightrec::enabled() {
+                star_obs::flightrec::record(
+                    "serve.deadline_miss",
+                    job.request.kind(),
+                    &[(
+                        "waited_us",
+                        star_obs::FieldValue::U64(job.received.elapsed().as_micros() as u64),
+                    )],
+                );
+            }
+            job.conn.respond(
+                ctx,
+                &error_response(
+                    job.request.id.as_deref(),
+                    ErrorCode::DeadlineExceeded,
+                    &format!(
+                        "deadline expired after {}us in queue",
+                        job.received.elapsed().as_micros()
+                    ),
+                ),
+            );
+            return;
+        }
+    }
+    let id = job.request.id.clone();
+    let options = job.request.options.clone();
+    let (response, hist) = match &job.request.body {
+        RequestBody::Embed {
+            n,
+            faults,
+            return_ring,
+        } => (
+            serve_embed(ctx, id.as_deref(), *n, faults, &options, *return_ring),
+            &ctx.obs.lat_embed,
+        ),
+        RequestBody::EmbedBatch {
+            n,
+            scenarios,
+            return_ring,
+        } => (
+            serve_batch(ctx, id.as_deref(), *n, scenarios, &options, *return_ring),
+            &ctx.obs.lat_batch,
+        ),
+        RequestBody::Verify { n, ring, faults } => (
+            serve_verify(id.as_deref(), *n, ring, faults),
+            &ctx.obs.lat_verify,
+        ),
+        // Health/stats never reach the queue.
+        RequestBody::Health | RequestBody::Stats => unreachable!("inline request queued"),
+    };
+    hist.observe_ns(job.received.elapsed().as_nanos() as u64);
+    ctx.served.fetch_add(1, Ordering::Relaxed);
+    ctx.obs.served.incr(1);
+    job.conn.respond(ctx, &response);
+}
+
+/// Embeds one scenario through the cache; returns `(ring, cached)` or
+/// the embedder's error message.
+fn embed_cached(
+    ctx: &Ctx,
+    n: usize,
+    faults: &star_fault::FaultSet,
+    options: &EmbedOptions,
+) -> Result<(Arc<[star_perm::Perm]>, bool), String> {
+    let key = CacheKey::new(n, faults, options);
+    if let Some(ring) = ctx.cache.get(&key) {
+        return Ok((ring, true));
+    }
+    let ring = embed_with_options(n, faults, options).map_err(|e| e.to_string())?;
+    let ring: Arc<[star_perm::Perm]> = Arc::from(ring.vertices().to_vec());
+    ctx.cache.insert(key, Arc::clone(&ring));
+    Ok((ring, false))
+}
+
+fn embed_members(
+    n: usize,
+    ring: &[star_perm::Perm],
+    cached: bool,
+    return_ring: bool,
+) -> Vec<(String, Json)> {
+    let mut members = vec![
+        ("n".to_string(), Json::from(n)),
+        ("ring_len".to_string(), Json::from(ring.len())),
+        (
+            "deficiency".to_string(),
+            Json::from(star_perm::factorial(n) - ring.len() as u64),
+        ),
+        ("cached".to_string(), Json::Bool(cached)),
+    ];
+    if return_ring {
+        members.push(("ring".to_string(), ring_to_json(ring)));
+    }
+    members
+}
+
+fn serve_embed(
+    ctx: &Ctx,
+    id: Option<&str>,
+    n: usize,
+    faults: &star_fault::FaultSet,
+    options: &EmbedOptions,
+    return_ring: bool,
+) -> Json {
+    match embed_cached(ctx, n, faults, options) {
+        Ok((ring, cached)) => {
+            ok_response(id, "embed", embed_members(n, &ring, cached, return_ring))
+        }
+        Err(msg) => {
+            ctx.obs.embed_failed.incr(1);
+            error_response(id, ErrorCode::EmbedFailed, &msg)
+        }
+    }
+}
+
+/// Batch path: cache lookups first, then one `embed_many` over the
+/// misses (so the batch still fans out through `star-pool`), then a
+/// per-item response array in input order.
+fn serve_batch(
+    ctx: &Ctx,
+    id: Option<&str>,
+    n: usize,
+    scenarios: &[Result<star_fault::FaultSet, String>],
+    options: &EmbedOptions,
+    return_ring: bool,
+) -> Json {
+    enum Slot {
+        Ready(Arc<[star_perm::Perm]>, bool),
+        Pending(usize),
+        Bad(String),
+    }
+    let mut misses: Vec<star_fault::FaultSet> = Vec::new();
+    let mut slots: Vec<Slot> = scenarios
+        .iter()
+        .map(|scenario| match scenario {
+            Err(msg) => Slot::Bad(msg.clone()),
+            Ok(faults) => {
+                let key = CacheKey::new(n, faults, options);
+                match ctx.cache.get(&key) {
+                    Some(ring) => Slot::Ready(ring, true),
+                    None => {
+                        misses.push(faults.clone());
+                        Slot::Pending(misses.len() - 1)
+                    }
+                }
+            }
+        })
+        .collect();
+    let embedded = embed_many_with_options(n, &misses, options);
+    for (faults, result) in misses.iter().zip(&embedded) {
+        if let Ok(ring) = result {
+            ctx.cache.insert(
+                CacheKey::new(n, faults, options),
+                Arc::from(ring.vertices().to_vec()),
+            );
+        }
+    }
+    let mut failed = 0u64;
+    let items: Vec<Json> = slots
+        .drain(..)
+        .map(|slot| match slot {
+            Slot::Ready(ring, cached) => {
+                let mut members = vec![("ok".to_string(), Json::Bool(true))];
+                members.extend(embed_members(n, &ring, cached, return_ring));
+                Json::Obj(members)
+            }
+            Slot::Pending(i) => match &embedded[i] {
+                Ok(ring) => {
+                    let mut members = vec![("ok".to_string(), Json::Bool(true))];
+                    members.extend(embed_members(n, ring.vertices(), false, return_ring));
+                    Json::Obj(members)
+                }
+                Err(e) => {
+                    failed += 1;
+                    Json::Obj(vec![
+                        ("ok".to_string(), Json::Bool(false)),
+                        (
+                            "error".to_string(),
+                            Json::from(ErrorCode::EmbedFailed.as_str()),
+                        ),
+                        ("message".to_string(), Json::from(e.to_string())),
+                    ])
+                }
+            },
+            Slot::Bad(msg) => {
+                failed += 1;
+                Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(false)),
+                    (
+                        "error".to_string(),
+                        Json::from(ErrorCode::BadRequest.as_str()),
+                    ),
+                    ("message".to_string(), Json::from(msg)),
+                ])
+            }
+        })
+        .collect();
+    if failed > 0 {
+        ctx.obs.embed_failed.incr(failed);
+    }
+    ok_response(
+        id,
+        "embed_batch",
+        vec![
+            ("n".to_string(), Json::from(n)),
+            ("items".to_string(), Json::Arr(items)),
+        ],
+    )
+}
+
+fn serve_verify(
+    id: Option<&str>,
+    n: usize,
+    ring: &[star_perm::Perm],
+    faults: &star_fault::FaultSet,
+) -> Json {
+    let mut members = vec![
+        ("n".to_string(), Json::from(n)),
+        ("ring_len".to_string(), Json::from(ring.len())),
+    ];
+    match star_verify::check_ring(n, ring, faults) {
+        Ok(()) => members.push(("valid".to_string(), Json::Bool(true))),
+        Err(e) => {
+            members.push(("valid".to_string(), Json::Bool(false)));
+            members.push(("reason".to_string(), Json::from(e.to_string())));
+        }
+    }
+    ok_response(id, "verify", members)
+}

@@ -36,6 +36,8 @@ fn main() -> ExitCode {
         Some("certify") => cmd_certify(&args[1..]),
         Some("verify-cert") => cmd_verify_cert(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             Ok(())
@@ -100,6 +102,31 @@ fn usage() {
          \x20 star-rings verify-cert <cert-file>          re-verify a certificate\n\
          \x20 star-rings dot <n> [fault options]          Graphviz DOT of the embedded\n\
          \x20                                             ring (n <= 5 recommended)\n\
+         \x20 star-rings serve [OPTIONS]                  embedding service over TCP\n\
+         \x20                                             (length-prefixed JSON frames)\n\
+         \x20     --addr <host:port>  listen address (default 127.0.0.1:7411; port 0\n\
+         \x20                         picks a free port, printed on stdout)\n\
+         \x20     --threads <t>       worker threads (0 = auto)\n\
+         \x20     --queue <k>         request-queue high-water mark (default 256;\n\
+         \x20                         beyond it requests are answered `overloaded`)\n\
+         \x20     --cache-mb <m>      result-cache budget in MiB (default 256)\n\
+         \x20     --deadline-ms <d>   default per-request deadline (requests may\n\
+         \x20                         override; expired work answers\n\
+         \x20                         `deadline_exceeded` without embedding)\n\
+         \x20     --flightrec         record accept/reject/deadline events; flushed\n\
+         \x20                         to disk on graceful shutdown (SIGINT drains)\n\
+         \x20     --flightrec-out <f> dump file for --flightrec (implies it)\n\
+         \x20 star-rings loadgen [OPTIONS]                closed-loop load generator\n\
+         \x20     --addr <host:port>  server to drive (default 127.0.0.1:7411)\n\
+         \x20     --conns <c>         concurrent connections (default 4)\n\
+         \x20     --rps <r>           target offered rate, all connections combined\n\
+         \x20                         (default 0 = unthrottled)\n\
+         \x20     --duration <secs>   run length (default 5)\n\
+         \x20     --mix <m>           embed | cached | mixed (default mixed)\n\
+         \x20     --seed <s>          RNG seed (default 0x5eed)\n\
+         \x20     --out <f>           write the BENCH_*.json summary to <f>\n\
+         \x20                         (default: stdout); exits nonzero on any\n\
+         \x20                         protocol error\n\
          \n\
          Permutations are written as digit strings for n <= 9 (e.g. 321456)\n\
          and dot-separated otherwise (e.g. 10.2.3.1...)."
@@ -591,6 +618,157 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
         "{}",
         star_rings::graph::export::ring_to_dot(n, ring.vertices(), faults.vertices())
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = star_rings::serve::ServeConfig::default();
+    let mut flightrec = false;
+    let mut flightrec_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                config.addr = args.get(i).ok_or("--addr needs host:port")?.clone();
+            }
+            "--threads" => {
+                i += 1;
+                config.threads = args
+                    .get(i)
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer (0 = auto)")?;
+            }
+            "--queue" => {
+                i += 1;
+                config.queue_capacity = args
+                    .get(i)
+                    .ok_or("--queue needs a size")?
+                    .parse()
+                    .map_err(|_| "--queue must be an integer")?;
+            }
+            "--cache-mb" => {
+                i += 1;
+                let mb: usize = args
+                    .get(i)
+                    .ok_or("--cache-mb needs a size in MiB")?
+                    .parse()
+                    .map_err(|_| "--cache-mb must be an integer")?;
+                config.cache_bytes = mb << 20;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .ok_or("--deadline-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms must be an integer")?;
+                config.default_deadline_ms = Some(ms);
+            }
+            "--flightrec" => flightrec = true,
+            "--flightrec-out" => {
+                i += 1;
+                flightrec = true;
+                flightrec_out = Some(
+                    args.get(i)
+                        .ok_or("--flightrec-out needs a file path")?
+                        .clone(),
+                );
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if flightrec {
+        if let Some(path) = &flightrec_out {
+            star_rings::obs::flightrec::set_dump_path(path);
+        }
+        star_rings::obs::flightrec::enable();
+        star_rings::obs::flightrec::install_panic_hook();
+    }
+    star_rings::serve::run(config)?;
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut config = star_rings::serve::LoadgenConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                config.addr = args.get(i).ok_or("--addr needs host:port")?.clone();
+            }
+            "--conns" => {
+                i += 1;
+                config.conns = args
+                    .get(i)
+                    .ok_or("--conns needs a count")?
+                    .parse()
+                    .map_err(|_| "--conns must be an integer")?;
+                if config.conns == 0 {
+                    return Err("--conns must be at least 1".to_string());
+                }
+            }
+            "--rps" => {
+                i += 1;
+                config.rps = args
+                    .get(i)
+                    .ok_or("--rps needs a rate")?
+                    .parse()
+                    .map_err(|_| "--rps must be an integer (0 = unthrottled)")?;
+            }
+            "--duration" => {
+                i += 1;
+                let secs: f64 = args
+                    .get(i)
+                    .ok_or("--duration needs seconds")?
+                    .parse()
+                    .map_err(|_| "--duration must be a number of seconds")?;
+                if !(0.0..=3600.0).contains(&secs) {
+                    return Err("--duration must be in 0..=3600 seconds".to_string());
+                }
+                config.duration = std::time::Duration::from_secs_f64(secs);
+            }
+            "--mix" => {
+                i += 1;
+                config.mix =
+                    star_rings::serve::Mix::parse(args.get(i).ok_or("--mix needs a value")?)?;
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).ok_or("--out needs a file path")?.clone());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    let report = star_rings::serve::loadgen::run(&config)?;
+    eprint!("{}", report.render_summary());
+    let json = report.to_baseline().to_json();
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("loadgen: summary written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    if report.protocol_errors > 0 {
+        return Err(format!(
+            "{} protocol errors during the run",
+            report.protocol_errors
+        ));
+    }
     Ok(())
 }
 

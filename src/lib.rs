@@ -21,6 +21,12 @@
 //! - [`pool`] — the shared work pool: order-preserving parallel maps and
 //!   the process-wide thread-count knob ([`pool::set_threads`], surfaced
 //!   as `--threads` on the CLI).
+//! - [`mod@bench`] — perf baselines (`BENCH_*.json`), the regression
+//!   comparator, and the vendored JSON codec ([`bench::jsonv`]).
+//! - [`serve`] — the networked embedding service: TCP server with a
+//!   length-prefixed JSON protocol, bounded request queue, sharded LRU
+//!   result cache, and a closed-loop load generator (`star-rings serve` /
+//!   `star-rings loadgen`).
 //!
 //! ## Quickstart
 //!
@@ -48,11 +54,13 @@
 //! ```
 
 pub use star_baselines as baselines;
+pub use star_bench as bench;
 pub use star_fault as fault;
 pub use star_graph as graph;
 pub use star_obs as obs;
 pub use star_perm as perm;
 pub use star_pool as pool;
 pub use star_ring as ring;
+pub use star_serve as serve;
 pub use star_sim as sim;
 pub use star_verify as verify;

@@ -157,6 +157,98 @@ fn help_is_shown_without_args() {
 }
 
 #[test]
+fn help_snapshot_lists_every_subcommand_with_its_flags() {
+    for invocation in [&["--help"][..], &["-h"][..]] {
+        let out = run(invocation);
+        assert_eq!(out.status.code(), Some(0), "{invocation:?}");
+        let text = stderr(&out);
+        for cmd in [
+            "info",
+            "embed",
+            "profile",
+            "stats",
+            "verify",
+            "degrade",
+            "certify",
+            "verify-cert",
+            "dot",
+            "serve",
+            "loadgen",
+        ] {
+            assert!(
+                text.contains(&format!("star-rings {cmd}")),
+                "--help must list `{cmd}`"
+            );
+        }
+        // The serving flags are documented where users will look for them.
+        for flag in [
+            "--addr",
+            "--queue",
+            "--cache-mb",
+            "--deadline-ms",
+            "--conns",
+            "--rps",
+            "--duration",
+            "--mix",
+        ] {
+            assert!(text.contains(flag), "--help must document `{flag}`");
+        }
+        assert!(text.contains("overloaded"), "backpressure is documented");
+    }
+}
+
+#[test]
+fn every_subcommand_exits_one_on_bad_arguments() {
+    for bad in [
+        &["info"][..],
+        &["info", "nope"][..],
+        &["embed"][..],
+        &["profile", "5", "--stats"][..],
+        &["stats", "5", "--format", "xml"][..],
+        &["verify", "5"][..],
+        &["degrade", "5", "--failures", "x"][..],
+        &["certify"][..],
+        &["verify-cert"][..],
+        &["dot"][..],
+        &["serve", "--bogus"][..],
+        &["serve", "--queue"][..],
+        &["serve", "--addr", "not-an-address"][..],
+        &["loadgen", "--conns", "0"][..],
+        &["loadgen", "--mix", "chaotic"][..],
+        &["loadgen", "--duration", "forever"][..],
+        &["loadgen", "--rps"][..],
+    ] {
+        let out = run(bad);
+        assert_eq!(out.status.code(), Some(1), "{bad:?} must exit 1");
+        assert!(
+            stderr(&out).contains("error:"),
+            "{bad:?} -> {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn loadgen_exits_nonzero_when_the_server_is_unreachable() {
+    // Grab a port that nothing listens on by binding and dropping it.
+    let port = {
+        let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        sock.local_addr().unwrap().port()
+    };
+    let out = run(&[
+        "loadgen",
+        "--addr",
+        &format!("127.0.0.1:{port}"),
+        "--conns",
+        "1",
+        "--duration",
+        "0.2",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("protocol errors"), "{}", stderr(&out));
+}
+
+#[test]
 fn profile_emits_collapsed_stacks() {
     let out = run(&["profile", "6", "--worst", "2"]);
     assert!(out.status.success(), "profile failed: {}", stderr(&out));
