@@ -275,12 +275,20 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Copy one UTF-8 scalar (multi-byte sequences included).
-                let s =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8".to_string())?;
-                let c = s.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                // Copy the contiguous run up to the next quote or escape in
+                // one pass, validating UTF-8 once per run rather than once
+                // per character (which re-scans the whole tail and turns
+                // large strings quadratic).
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| "invalid UTF-8".to_string())?;
+                out.push_str(s);
             }
         }
     }

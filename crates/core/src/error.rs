@@ -39,6 +39,14 @@ pub enum EmbedError {
     },
     /// This entry point does not support edge faults.
     EdgeFaultsUnsupported,
+    /// Internal state failed a consistency check (e.g. a maintained ring
+    /// whose stored block structure no longer matches its host dimension).
+    /// Surfaced as an error instead of a panic so long-running services can
+    /// report and shed the request rather than die.
+    InvariantViolation {
+        /// Which invariant was violated, for the flight recorder.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for EmbedError {
@@ -68,6 +76,9 @@ impl fmt::Display for EmbedError {
                     f,
                     "this entry point does not support edge faults; use `mixed`"
                 )
+            }
+            EmbedError::InvariantViolation { context } => {
+                write!(f, "internal invariant violated: {context}")
             }
         }
     }

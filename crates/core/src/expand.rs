@@ -130,6 +130,11 @@ pub fn expand_structured(
     for (attempt, x0) in first_entries.into_iter().enumerate() {
         if let Some(segments) = assemble(&plans, faults, &x0, faulty_block_loss) {
             record_block_counters(&segments, attempt);
+            if faulty_block_loss == 2 {
+                // The paper's regime produces a full ring; the coarser
+                // block-loss ablations intentionally skip extra vertices.
+                crate::invariants::debug_assert_segments(r4.n(), faults, &segments, "expand");
+            }
             return Ok(segments);
         }
     }

@@ -1,0 +1,105 @@
+//! Debug-mode invariant assertions for the embedding pipeline.
+//!
+//! Every construction path (expand, repair, mixed) funnels its result
+//! through these checks before handing it to a caller. In release builds
+//! they compile to nothing; in debug builds (the mode `cargo test` and the
+//! audit CI job run in) they catch a corrupted ring at the point of
+//! production instead of at the next consumer.
+//!
+//! The checks mirror what `star-verify` proves externally — simplicity,
+//! adjacency, health, and the bipartite parity alternation — but live in
+//! the core crate so they guard *internal* paths (per-block repairs,
+//! salt-retry sweeps) that never cross the public verify API.
+
+use star_fault::FaultSet;
+use star_perm::Perm;
+
+use crate::expand::BlockSegment;
+
+/// Asserts (debug builds only) that `ring` is a simple, healthy cycle of
+/// adjacent vertices with alternating permutation parity.
+#[inline]
+pub fn debug_assert_ring(n: usize, faults: &FaultSet, ring: &[Perm], context: &str) {
+    #[cfg(debug_assertions)]
+    check_ring_impl(n, faults, ring, context);
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (n, faults, ring, context);
+    }
+}
+
+/// Asserts (debug builds only) that the concatenated segment paths form a
+/// valid ring. Used by the structured expand and repair paths.
+#[inline]
+pub fn debug_assert_segments(
+    n: usize,
+    faults: &FaultSet,
+    segments: &[BlockSegment],
+    context: &str,
+) {
+    #[cfg(debug_assertions)]
+    {
+        let ring: Vec<Perm> = segments
+            .iter()
+            .flat_map(|s| s.path.iter().copied())
+            .collect();
+        check_ring_impl(n, faults, &ring, context);
+        for (i, s) in segments.iter().enumerate() {
+            debug_assert!(
+                !s.path.is_empty(),
+                "invariant [{context}]: segment {i} is empty"
+            );
+            debug_assert_eq!(
+                s.path.first(),
+                Some(&s.entry),
+                "invariant [{context}]: segment {i} does not start at its entry"
+            );
+            debug_assert_eq!(
+                s.path.last(),
+                Some(&s.exit),
+                "invariant [{context}]: segment {i} does not end at its exit"
+            );
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (n, faults, segments, context);
+    }
+}
+
+#[cfg(debug_assertions)]
+fn check_ring_impl(n: usize, faults: &FaultSet, ring: &[Perm], context: &str) {
+    debug_assert!(!ring.is_empty(), "invariant [{context}]: empty ring");
+    debug_assert!(
+        ring.len().is_multiple_of(2),
+        "invariant [{context}]: odd ring length {} in a bipartite graph",
+        ring.len()
+    );
+    let mut seen = vec![false; star_perm::factorial(n) as usize];
+    for (i, v) in ring.iter().enumerate() {
+        debug_assert_eq!(v.n(), n, "invariant [{context}]: dimension mismatch at {i}");
+        debug_assert!(
+            faults.is_vertex_healthy(v),
+            "invariant [{context}]: faulty vertex {v} on ring at {i}"
+        );
+        let rank = v.rank() as usize;
+        debug_assert!(
+            !seen[rank],
+            "invariant [{context}]: repeat vertex {v} at {i}"
+        );
+        seen[rank] = true;
+        let next = &ring[(i + 1) % ring.len()];
+        debug_assert!(
+            v.is_adjacent(next),
+            "invariant [{context}]: non-adjacent step {v} -> {next} at {i}"
+        );
+        // Star moves are transpositions with position 0, so parity must
+        // alternate around the cycle (the bipartite structure the length
+        // bound rests on).
+        debug_assert_ne!(
+            v.parity().is_even(),
+            next.parity().is_even(),
+            "invariant [{context}]: parity does not alternate at {i}"
+        );
+    }
+}

@@ -42,6 +42,7 @@ mod error;
 
 pub mod expand;
 pub mod hierarchy;
+pub mod invariants;
 pub mod mixed;
 pub mod oracle;
 pub mod paths;

@@ -47,7 +47,10 @@ pub fn embed_with_mixed_faults(n: usize, faults: &FaultSet) -> Result<EmbeddedRi
     }
 
     match try_embed_mixed(n, faults) {
-        Some(ring) => Ok(ring),
+        Some(ring) => {
+            crate::invariants::debug_assert_ring(n, faults, ring.vertices(), "mixed");
+            Ok(ring)
+        }
         None => {
             // Degradation: promote one edge fault to a vertex fault on a
             // healthy endpoint and recurse (total count preserved).

@@ -155,13 +155,31 @@ impl MaintainedRing {
         if self.faults.is_vertex_faulty(&v) {
             return Err(EmbedError::ExpansionFailed { block: 0 });
         }
-        self.faults.add_vertex(v).expect("checked healthy above");
 
-        // Locate the block containing v: pin the same positions its
-        // patterns pin. All blocks share the pinned-position set, so read
-        // it off segment 0.
-        let pins: Vec<usize> = self.segments[0].block.fixed_positions().collect();
-        let home = star_graph::partition::locate(&v, &pins).expect("pins are valid positions");
+        // Locate the block containing v *before* recording the fault: pin
+        // the same positions its patterns pin. All blocks share the
+        // pinned-position set, so read it off segment 0. If the stored
+        // block structure is corrupt (empty, or pinned for a different
+        // dimension) the locate cannot succeed — report it instead of
+        // panicking, leaving the maintained state untouched.
+        let home = match self.locate_home(&v) {
+            Ok(home) => home,
+            Err(e) => {
+                star_obs::incr("repair.invariant_violation", 1);
+                star_obs::flightrec::record("repair.locate_failed", e.to_string(), &[]);
+                star_obs::flightrec::dump_on_failure("repair.locate_failed");
+                return Err(e);
+            }
+        };
+
+        // Record the fault. Keep a snapshot so any failed repair path can
+        // roll back (the current ring must never contain a recorded fault).
+        let saved = self.faults.clone();
+        if self.faults.add_vertex(v).is_err() {
+            return Err(EmbedError::InvariantViolation {
+                context: "fault set rejected a vertex already checked healthy",
+            });
+        }
         if let Some(&idx) = self.block_index.get(&home) {
             let seg = &self.segments[idx];
             // Local repair: endpoints must survive and the block must
@@ -195,26 +213,24 @@ impl MaintainedRing {
                 };
                 if let Some(path) = repaired {
                     self.segments[idx].path = path;
+                    crate::invariants::debug_assert_segments(
+                        self.n,
+                        &self.faults,
+                        &self.segments,
+                        "repair.local",
+                    );
                     return Ok(RepairOutcome::Local { block: idx });
                 }
             }
         }
 
         // Global fallback (only valid within the paper's budget). Any
-        // failure rolls the fault back so the maintained state stays
-        // consistent (the current ring never contains a recorded fault).
+        // failure restores the pre-fault snapshot so the maintained state
+        // stays consistent (the current ring never contains a recorded
+        // fault).
         let budget = self.n - 3;
-        let rollback = |this: &mut Self| {
-            let mut rolled = FaultSet::empty(this.n);
-            for f in this.faults.vertices() {
-                if *f != v {
-                    rolled.add_vertex(*f).expect("copy");
-                }
-            }
-            this.faults = rolled;
-        };
         if self.faults.vertex_fault_count() > budget {
-            rollback(self);
+            self.faults = saved;
             return Err(EmbedError::TooManyFaults {
                 supplied: budget + 1,
                 budget,
@@ -228,13 +244,42 @@ impl MaintainedRing {
                     .map(|(i, s)| (s.block, i))
                     .collect();
                 self.segments = segments;
+                crate::invariants::debug_assert_segments(
+                    self.n,
+                    &self.faults,
+                    &self.segments,
+                    "repair.global",
+                );
                 Ok(RepairOutcome::Global)
             }
             Err(e) => {
-                rollback(self);
+                self.faults = saved;
                 Err(e)
             }
         }
+    }
+
+    /// Pins `v` into the block partition recorded by the stored segments.
+    ///
+    /// Fails (instead of panicking) when the block structure cannot answer
+    /// the question: no segments at all, or pins that lie outside `v`'s
+    /// dimension because a stored pattern was built for a different `n`.
+    fn locate_home(&self, v: &Perm) -> Result<star_graph::Pattern, EmbedError> {
+        let first = self
+            .segments
+            .first()
+            .ok_or(EmbedError::InvariantViolation {
+                context: "maintained ring has no segments",
+            })?;
+        let pins: Vec<usize> = first.block.fixed_positions().collect();
+        if pins.iter().any(|&p| p == 0 || p >= self.n) {
+            return Err(EmbedError::InvariantViolation {
+                context: "stored block pins positions outside the host dimension",
+            });
+        }
+        star_graph::partition::locate(v, &pins).map_err(|_| EmbedError::InvariantViolation {
+            context: "vertex does not locate into the stored block partition",
+        })
     }
 }
 
@@ -359,5 +404,39 @@ mod tests {
         let v = mr.segments[0].path[3];
         mr.fail(v).unwrap();
         assert!(mr.fail(v).is_err());
+    }
+
+    #[test]
+    fn corrupt_block_structure_errors_instead_of_panicking() {
+        // Regression: a stored block pattern pinned for a different host
+        // dimension used to panic inside `locate` (out-of-bounds position
+        // read) via `.expect("pins are valid positions")`. It must now
+        // surface as `InvariantViolation` and leave the state untouched.
+        let n = 6;
+        let mut mr = MaintainedRing::new(n, &FaultSet::empty(n)).unwrap();
+        let victim = mr.segments[0].path[3];
+        mr.segments[0].block = star_graph::Pattern::full(12).sub(7, 1).unwrap();
+        let err = mr.fail(victim).unwrap_err();
+        assert!(
+            matches!(err, EmbedError::InvariantViolation { .. }),
+            "unexpected error: {err}"
+        );
+        // The failed call recorded nothing: no fault, ring length intact.
+        assert_eq!(mr.faults().vertex_fault_count(), 0);
+        assert_eq!(mr.len(), 720);
+    }
+
+    #[test]
+    fn empty_segment_list_errors_instead_of_panicking() {
+        let n = 6;
+        let mut mr = MaintainedRing::new(n, &FaultSet::empty(n)).unwrap();
+        let victim = mr.segments[0].path[3];
+        mr.segments.clear();
+        let err = mr.fail(victim).unwrap_err();
+        assert!(
+            matches!(err, EmbedError::InvariantViolation { .. }),
+            "unexpected error: {err}"
+        );
+        assert_eq!(mr.faults().vertex_fault_count(), 0);
     }
 }

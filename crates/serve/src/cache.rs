@@ -17,8 +17,12 @@
 //! budget is simply not admitted.
 //!
 //! **Metrics.** `serve.cache.hit` / `serve.cache.miss` /
-//! `serve.cache.insert` / `serve.cache.evict` counters, and byte/entry
-//! occupancy via [`ResultCache::stats`].
+//! `serve.cache.insert` / `serve.cache.evict` /
+//! `serve.cache.oversize_reject` counters, and byte/entry occupancy via
+//! [`ResultCache::stats`]. Oversize rejections (an entry bigger than a
+//! whole shard budget) are counted — and logged once per process — rather
+//! than silently dropped, so a mis-sized cache shows up in stats instead
+//! of as a mysterious 0% hit rate.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -81,6 +85,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Lifetime evictions.
     pub evictions: u64,
+    /// Lifetime inserts rejected because the entry exceeded a whole
+    /// shard's budget.
+    pub oversize_rejects: u64,
 }
 
 const NIL: usize = usize::MAX;
@@ -149,19 +156,21 @@ impl Shard {
         Some(Arc::clone(&self.slab[i].value))
     }
 
-    /// Inserts (or refreshes) an entry; returns evictions performed.
-    fn insert(&mut self, key: CacheKey, value: Arc<[Perm]>) -> u64 {
+    /// Inserts (or refreshes) an entry; reports what happened.
+    fn insert(&mut self, key: CacheKey, value: Arc<[Perm]>) -> Admission {
         let bytes =
             key.bytes() + value.len() * std::mem::size_of::<Perm>() + std::mem::size_of::<Entry>();
         if bytes > self.budget {
-            return 0; // Larger than the whole shard: not admissible.
+            // Larger than the whole shard: not admissible. (Exactly at
+            // budget is admitted — it fills the shard alone.)
+            return Admission::Oversize;
         }
         if let Some(&i) = self.map.get(&key) {
             // Refresh in place (embeds are deterministic, so the value
             // cannot differ; just touch recency).
             self.unlink(i);
             self.push_front(i);
-            return 0;
+            return Admission::Admitted { evicted: 0 };
         }
         let entry = Entry {
             key: key.clone(),
@@ -198,8 +207,17 @@ impl Shard {
             self.free.push(victim);
             evicted += 1;
         }
-        evicted
+        Admission::Admitted { evicted }
     }
+}
+
+/// Outcome of a [`Shard::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Entry resident (new or refreshed), `evicted` entries displaced.
+    Admitted { evicted: u64 },
+    /// Entry larger than the whole shard budget; nothing was stored.
+    Oversize,
 }
 
 /// The sharded LRU cache.
@@ -208,6 +226,7 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    oversize_rejects: AtomicU64,
 }
 
 struct CacheObs {
@@ -215,6 +234,7 @@ struct CacheObs {
     miss: star_obs::Counter,
     insert: star_obs::Counter,
     evict: star_obs::Counter,
+    oversize_reject: star_obs::Counter,
 }
 
 fn obs() -> &'static CacheObs {
@@ -224,6 +244,7 @@ fn obs() -> &'static CacheObs {
         miss: star_obs::counter("serve.cache.miss"),
         insert: star_obs::counter("serve.cache.insert"),
         evict: star_obs::counter("serve.cache.evict"),
+        oversize_reject: star_obs::counter("serve.cache.oversize_reject"),
     })
 }
 
@@ -237,6 +258,7 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            oversize_rejects: AtomicU64::new(0),
         }
     }
 
@@ -264,11 +286,28 @@ impl ResultCache {
 
     /// Inserts a freshly-embedded ring.
     pub fn insert(&self, key: CacheKey, value: Arc<[Perm]>) {
-        let evicted = self.shard(&key).insert(key, value);
-        obs().insert.incr(1);
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
-            obs().evict.incr(evicted);
+        let entry_bytes =
+            key.bytes() + value.len() * std::mem::size_of::<Perm>() + std::mem::size_of::<Entry>();
+        match self.shard(&key).insert(key, value) {
+            Admission::Admitted { evicted } => {
+                obs().insert.incr(1);
+                if evicted > 0 {
+                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    obs().evict.incr(evicted);
+                }
+            }
+            Admission::Oversize => {
+                self.oversize_rejects.fetch_add(1, Ordering::Relaxed);
+                obs().oversize_reject.incr(1);
+                static LOGGED: std::sync::Once = std::sync::Once::new();
+                LOGGED.call_once(|| {
+                    eprintln!(
+                        "star-serve: cache entry of {entry_bytes} bytes exceeds the \
+                         per-shard budget; raise --cache-bytes (further rejections \
+                         are counted in cache.oversize_rejects, not logged)"
+                    );
+                });
+            }
         }
     }
 
@@ -286,6 +325,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            oversize_rejects: self.oversize_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -392,6 +432,50 @@ mod tests {
         let k = key(5, &[], 0);
         cache.insert(k.clone(), ring(10_000));
         assert!(cache.get(&k).is_none());
-        assert_eq!(cache.stats().entries, 0);
+        let st = cache.stats();
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.oversize_rejects, 1, "rejection must be counted");
+    }
+
+    fn entry_bytes(k: &CacheKey, len: usize) -> usize {
+        k.bytes() + len * std::mem::size_of::<Perm>() + std::mem::size_of::<Entry>()
+    }
+
+    #[test]
+    fn zero_budget_rejects_everything_and_counts_it() {
+        let cache = ResultCache::with_budget(0);
+        for i in 0..5 {
+            let k = key(5, &[], i);
+            cache.insert(k.clone(), ring(8));
+            assert!(
+                cache.get(&k).is_none(),
+                "zero-budget cache stored entry {i}"
+            );
+        }
+        let st = cache.stats();
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.bytes, 0);
+        assert_eq!(st.oversize_rejects, 5, "every insert must be counted");
+    }
+
+    #[test]
+    fn exactly_at_budget_is_admitted_one_below_is_not() {
+        let k = key(5, &[], 0);
+        let bytes = entry_bytes(&k, 8);
+
+        // An entry exactly the shard budget fills the shard alone.
+        let mut exact = Shard::new(bytes);
+        assert_eq!(
+            exact.insert(k.clone(), ring(8)),
+            Admission::Admitted { evicted: 0 }
+        );
+        assert!(exact.get(&k).is_some());
+        assert_eq!(exact.bytes, bytes);
+
+        // One byte less and the same entry can never fit.
+        let mut tight = Shard::new(bytes - 1);
+        assert_eq!(tight.insert(k.clone(), ring(8)), Admission::Oversize);
+        assert!(tight.get(&k).is_none());
+        assert_eq!(tight.bytes, 0);
     }
 }

@@ -106,6 +106,21 @@ pub fn embed_request(id: &str, n: usize, faults: &[String], deadline_ms: Option<
     Json::Obj(members)
 }
 
+/// Builds an `embed` request that also asks the server to attach a
+/// STARRING-CERT v1 certificate (`"return_certificate":true`).
+pub fn certified_embed_request(
+    id: &str,
+    n: usize,
+    faults: &[String],
+    deadline_ms: Option<u64>,
+) -> Json {
+    let mut request = embed_request(id, n, faults, deadline_ms);
+    if let Json::Obj(members) = &mut request {
+        members.push(("return_certificate".to_string(), Json::Bool(true)));
+    }
+    request
+}
+
 /// Builds a bare request of the given kind (`health`, `stats`).
 pub fn plain_request(id: &str, kind: &str) -> Json {
     Json::Obj(vec![

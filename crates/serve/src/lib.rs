@@ -33,6 +33,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod fuzz;
 pub mod loadgen;
 pub mod proto;
 pub mod queue;

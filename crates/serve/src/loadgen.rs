@@ -22,7 +22,7 @@ use star_bench::baseline::{Baseline, BaselineCase};
 use star_bench::jsonv::Json;
 use star_perm::Perm;
 
-use crate::client::{embed_request, plain_request, Client};
+use crate::client::{certified_embed_request, embed_request, plain_request, Client};
 
 /// Load-generator configuration (the CLI's `loadgen` flags).
 #[derive(Debug, Clone)]
@@ -39,6 +39,11 @@ pub struct LoadgenConfig {
     pub mix: Mix,
     /// RNG seed (per-connection streams derive from it).
     pub seed: u64,
+    /// Audit mode (`--verify`): request a STARRING-CERT certificate on
+    /// every embed and re-verify it client-side (full re-derivation via
+    /// `star_verify::certificate::verify_certificate`, plus a cross-check
+    /// of the summary against what was requested).
+    pub verify: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -50,6 +55,7 @@ impl Default for LoadgenConfig {
             duration: Duration::from_secs(5),
             mix: Mix::Mixed,
             seed: 0x5eed,
+            verify: false,
         }
     }
 }
@@ -111,6 +117,12 @@ pub struct LoadgenReport {
     pub conns: usize,
     /// Mix that was offered.
     pub mix: Mix,
+    /// Certificates fetched and fully re-verified client-side
+    /// (`--verify` mode only; 0 otherwise).
+    pub certs_checked: u64,
+    /// Certificates that were missing, malformed, or disagreed with the
+    /// request (a correct server keeps this at 0).
+    pub cert_failures: u64,
 }
 
 impl LoadgenReport {
@@ -178,6 +190,13 @@ impl LoadgenReport {
             "loadgen:   server cache hit rate {:.1}%",
             self.cache_hit_rate * 100.0
         );
+        if self.certs_checked > 0 || self.cert_failures > 0 {
+            let _ = writeln!(
+                out,
+                "loadgen:   certificates verified {} ({} failures)",
+                self.certs_checked, self.cert_failures
+            );
+        }
         out
     }
 }
@@ -224,11 +243,44 @@ fn scenario_pool(seed: u64) -> Vec<(usize, Vec<String>)> {
     pool
 }
 
+#[derive(Debug)]
 struct ConnTally {
     ok: u64,
     rejected: Vec<(String, u64)>,
     protocol_errors: u64,
     latencies_ns: Vec<u64>,
+    certs_checked: u64,
+    cert_failures: u64,
+}
+
+/// Re-verifies an embed response's certificate against what the request
+/// asked for. Returns an error description on any mismatch.
+fn check_certificate(response: &Json, n: usize, fault_count: usize) -> Result<(), String> {
+    let cert = response
+        .get("certificate")
+        .and_then(Json::as_str)
+        .ok_or("response carries no certificate")?;
+    let summary = star_verify::certificate::verify_certificate(cert).map_err(|e| e.to_string())?;
+    if summary.n != n {
+        return Err(format!("certificate n {} != requested {n}", summary.n));
+    }
+    if summary.fault_count != fault_count {
+        return Err(format!(
+            "certificate fault count {} != requested {fault_count}",
+            summary.fault_count
+        ));
+    }
+    let reported = response.get("ring_len").and_then(Json::as_u64).unwrap_or(0);
+    if summary.ring_len as u64 != reported {
+        return Err(format!(
+            "certificate ring length {} != reported {reported}",
+            summary.ring_len
+        ));
+    }
+    if !summary.at_guarantee {
+        return Err("certificate ring is below the n! - 2|F_v| guarantee".to_string());
+    }
+    Ok(())
 }
 
 fn run_conn(
@@ -245,6 +297,17 @@ fn run_conn(
         rejected: Vec::new(),
         protocol_errors: 0,
         latencies_ns: Vec::new(),
+        certs_checked: 0,
+        cert_failures: 0,
+    };
+    // In `--verify` mode embeds go out with `return_certificate` and the
+    // expected (n, fault count) is remembered for the response check.
+    let build_embed = |id: &str, n: usize, faults: &[String]| {
+        if config.verify {
+            certified_embed_request(id, n, faults, None)
+        } else {
+            embed_request(id, n, faults, None)
+        }
     };
     // Pace each connection at rps/conns when a target rate is set.
     let pace = if config.rps > 0 {
@@ -266,23 +329,30 @@ fn run_conn(
         }
         req_no += 1;
         let id = format!("c{conn_index}-{req_no}");
+        let mut expected_embed: Option<(usize, usize)> = None;
+        let mut embed = |n: usize, faults: &[String]| {
+            expected_embed = Some((n, faults.len()));
+            build_embed(&id, n, faults)
+        };
         let request = match config.mix {
             Mix::Embed => {
                 let n = rng.random_range(5..=9usize);
-                embed_request(&id, n, &random_faults(&mut rng, n), None)
+                let faults = random_faults(&mut rng, n);
+                embed(n, &faults)
             }
             Mix::Cached => {
                 let (n, faults) = &pool[rng.random_range(0..pool.len())];
-                embed_request(&id, *n, faults, None)
+                embed(*n, faults)
             }
             Mix::Mixed => match rng.random_range(0..100u64) {
                 0..=74 => {
                     let (n, faults) = &pool[rng.random_range(0..pool.len())];
-                    embed_request(&id, *n, faults, None)
+                    embed(*n, faults)
                 }
                 75..=84 => {
                     let n = rng.random_range(5..=7usize);
-                    embed_request(&id, n, &random_faults(&mut rng, n), None)
+                    let faults = random_faults(&mut rng, n);
+                    embed(n, &faults)
                 }
                 85..=94 => plain_request(&id, "health"),
                 _ => plain_request(&id, "stats"),
@@ -297,6 +367,15 @@ fn run_conn(
                     Some(Json::Bool(true)) => {
                         tally.ok += 1;
                         tally.latencies_ns.push(elapsed_ns);
+                        if let (true, Some((n, fault_count))) = (config.verify, expected_embed) {
+                            match check_certificate(&response, n, fault_count) {
+                                Ok(()) => tally.certs_checked += 1,
+                                Err(reason) => {
+                                    tally.cert_failures += 1;
+                                    eprintln!("loadgen: certificate check failed ({id}): {reason}");
+                                }
+                            }
+                        }
                     }
                     Some(Json::Bool(false)) => {
                         let code = response
@@ -318,6 +397,18 @@ fn run_conn(
     Ok(tally)
 }
 
+/// Renders a thread panic payload (the `&str`/`String` cases `panic!`
+/// produces; anything else is reported opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Runs the load generator and aggregates per-connection tallies.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let pool = scenario_pool(config.seed);
@@ -332,7 +423,21 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 s.spawn(move || run_conn(config, i, pool, stop_at, issued))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        // A panicking worker must not take the whole loadgen down with
+        // it: fold the panic into that connection's tally as an error so
+        // the run still aggregates and exits nonzero with a summary.
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(format!(
+                        "connection {i} worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))
+                })
+            })
+            .collect()
     });
     let elapsed = started.elapsed();
 
@@ -346,6 +451,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         latencies_ns: Vec::new(),
         conns: config.conns,
         mix: config.mix,
+        certs_checked: 0,
+        cert_failures: 0,
     };
     let mut connect_failures = 0u64;
     for tally in tallies {
@@ -354,6 +461,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 report.ok += t.ok;
                 report.protocol_errors += t.protocol_errors;
                 report.latencies_ns.extend(t.latencies_ns);
+                report.certs_checked += t.certs_checked;
+                report.cert_failures += t.cert_failures;
                 for (code, count) in t.rejected {
                     match report.rejected.iter_mut().find(|(c, _)| *c == code) {
                         Some((_, total)) => *total += count,
@@ -362,6 +471,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 }
             }
             Err(e) => {
+                // Connect failures and worker panics both land here: the
+                // connection produced no tally, the run reports it as a
+                // protocol error and the CLI exits nonzero.
                 connect_failures += 1;
                 eprintln!("loadgen: connection failed: {e}");
             }
@@ -430,6 +542,25 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_folds_into_an_error_tally() {
+        // Regression: `h.join().unwrap()` used to turn any worker panic
+        // into a loadgen panic. The join must instead yield an Err that
+        // aggregation counts as a failed connection.
+        let result: Result<ConnTally, String> = std::thread::scope(|s| {
+            let h = s.spawn(|| -> Result<ConnTally, String> { panic!("boom {}", 7) });
+            h.join().unwrap_or_else(|payload| {
+                Err(format!(
+                    "connection 0 worker panicked: {}",
+                    panic_message(payload.as_ref())
+                ))
+            })
+        });
+        let err = result.unwrap_err();
+        assert!(err.contains("worker panicked"), "{err}");
+        assert!(err.contains("boom 7"), "{err}");
+    }
+
+    #[test]
     fn baseline_mapping_documents_hit_rate_and_per_conn_rate() {
         let report = LoadgenReport {
             ok: 100,
@@ -441,6 +572,8 @@ mod tests {
             latencies_ns: (1..=100).map(|i| i * 1000).collect(),
             conns: 4,
             mix: Mix::Mixed,
+            certs_checked: 0,
+            cert_failures: 0,
         };
         let baseline = report.to_baseline();
         let case = &baseline.cases[0];

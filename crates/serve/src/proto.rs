@@ -17,10 +17,13 @@
 //! `"deadline_ms"` (enforced at dequeue — an expired request is answered
 //! `deadline_exceeded` before any embed work runs) and `"options"`
 //! (`{"verify":bool,"salt":int,"spare_index":int}`, the
-//! [`EmbedOptions`] knobs). Responses always carry `"ok"`; failures are
+//! [`EmbedOptions`] knobs). Embed requests additionally accept
+//! `"return_certificate":true` to get a STARRING-CERT v1 proof attached
+//! to the response (always attached when the server runs with
+//! `--verify`). Responses always carry `"ok"`; failures are
 //! `{"ok":false,"error":<code>,"message":…}` with `error` one of
 //! `bad_request`, `overloaded`, `deadline_exceeded`, `embed_failed`,
-//! `shutting_down`.
+//! `verify_failed`, `shutting_down`.
 //!
 //! Faults and ring vertices travel as permutation strings in the same
 //! format the CLI uses (digit strings for `n <= 9`, dot-separated
@@ -124,6 +127,9 @@ pub enum ErrorCode {
     DeadlineExceeded,
     /// The embedder rejected the scenario (out of budget, …).
     EmbedFailed,
+    /// The server's `--verify` audit rejected a produced ring before it
+    /// could be served (an internal bug was caught, not client error).
+    VerifyFailed,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
 }
@@ -136,6 +142,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::EmbedFailed => "embed_failed",
+            ErrorCode::VerifyFailed => "verify_failed",
             ErrorCode::ShuttingDown => "shutting_down",
         }
     }
@@ -157,6 +164,9 @@ pub enum RequestBody {
         /// Include the full ring in the response (`ring_len` is always
         /// present; the vertex list is opt-in to keep frames small).
         return_ring: bool,
+        /// Attach a STARRING-CERT v1 certificate to the response (also
+        /// implied for every embed when the server runs with `--verify`).
+        return_certificate: bool,
     },
     /// Many independent scenarios over the same `S_n`, dispatched through
     /// `core::embed_many`.
@@ -215,6 +225,7 @@ impl Request {
                     n,
                     faults,
                     return_ring: bool_field(&doc, "return_ring"),
+                    return_certificate: bool_field(&doc, "return_certificate"),
                 }
             }
             "embed_batch" => {
@@ -404,6 +415,45 @@ mod tests {
     }
 
     #[test]
+    fn frame_at_exactly_the_cap_is_accepted() {
+        // A body of exactly MAX_FRAME bytes must round-trip; the cap is
+        // inclusive.
+        let body = vec![b' '; MAX_FRAME];
+        let mut buf = Vec::with_capacity(MAX_FRAME + 4);
+        write_frame(&mut buf, &body).unwrap();
+        match read_frame(&mut &buf[..]).unwrap() {
+            FrameRead::Frame(b) => assert_eq!(b.len(), MAX_FRAME),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_one_byte_over_the_cap_is_invalid_data() {
+        // One byte past the cap must fail fast with InvalidData — before
+        // any body allocation — and never hang waiting for 16 MiB.
+        let prefix = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let err = read_frame(&mut &prefix[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn zero_length_frame_is_an_empty_body_and_a_stable_parse_error() {
+        // length prefix 0, no body: a legal frame whose payload then fails
+        // request parsing (it is not a JSON document) — bad_request, not
+        // a panic or a stall.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        let body = match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert!(body.is_empty());
+        assert!(Request::parse(&body).is_err());
+        assert!(matches!(read_frame(&mut r).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
     fn parses_embed_request() {
         let req = Request::parse(
             br#"{"kind":"embed","n":5,"faults":["21345"],"id":"r1",
@@ -419,10 +469,12 @@ mod tests {
                 n,
                 faults,
                 return_ring,
+                return_certificate,
             } => {
                 assert_eq!(n, 5);
                 assert_eq!(faults.vertex_fault_count(), 1);
                 assert!(!return_ring);
+                assert!(!return_certificate);
             }
             other => panic!("{other:?}"),
         }

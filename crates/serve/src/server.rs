@@ -63,6 +63,12 @@ pub struct ServeConfig {
     /// Default per-request deadline in ms (`None` = no deadline unless
     /// the request carries one).
     pub default_deadline_ms: Option<u64>,
+    /// Audit mode (`--verify`): re-check every embed result against
+    /// `star_verify::check_ring` and the exact `n! - 2|F_v|` length
+    /// before responding, and attach a STARRING-CERT v1 certificate to
+    /// every embed response. A ring that fails the audit is answered
+    /// `verify_failed` instead of being served.
+    pub verify_responses: bool,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +83,7 @@ impl Default for ServeConfig {
             // gives 16 MiB shards, ~3 worst-case entries each.
             cache_bytes: 256 << 20,
             default_deadline_ms: None,
+            verify_responses: false,
         }
     }
 }
@@ -164,6 +171,8 @@ struct ServeObs {
     rejected_deadline: star_obs::Counter,
     rejected_shutdown: star_obs::Counter,
     embed_failed: star_obs::Counter,
+    verify_failed: star_obs::Counter,
+    certificates: star_obs::Counter,
     write_errors: star_obs::Counter,
     queue_depth: star_obs::Hist,
     lat_embed: star_obs::Hist,
@@ -182,6 +191,8 @@ fn obs() -> &'static ServeObs {
         rejected_deadline: star_obs::counter("serve.rejected.deadline"),
         rejected_shutdown: star_obs::counter("serve.rejected.shutdown"),
         embed_failed: star_obs::counter("serve.embed_failed"),
+        verify_failed: star_obs::counter("serve.verify_failed"),
+        certificates: star_obs::counter("serve.certificates"),
         write_errors: star_obs::counter("serve.write_errors"),
         queue_depth: star_obs::histogram("serve.queue.depth"),
         lat_embed: star_obs::histogram("serve.latency.embed"),
@@ -198,6 +209,7 @@ struct Ctx {
     started: Instant,
     default_deadline: Option<Duration>,
     queue_capacity: usize,
+    verify_responses: bool,
     active_conns: AtomicUsize,
     served: AtomicU64,
     rejected_overloaded: AtomicU64,
@@ -236,6 +248,7 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
         started: Instant::now(),
         default_deadline: config.default_deadline_ms.map(Duration::from_millis),
         queue_capacity: config.queue_capacity,
+        verify_responses: config.verify_responses,
         active_conns: AtomicUsize::new(0),
         served: AtomicU64::new(0),
         rejected_overloaded: AtomicU64::new(0),
@@ -246,9 +259,14 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
     println!("star-serve listening on {local}");
     std::io::stdout().flush().ok();
     eprintln!(
-        "star-serve: {workers} workers, queue {}, cache {} MiB",
+        "star-serve: {workers} workers, queue {}, cache {} MiB{}",
         config.queue_capacity,
-        config.cache_bytes >> 20
+        config.cache_bytes >> 20,
+        if config.verify_responses {
+            ", verify on"
+        } else {
+            ""
+        }
     );
 
     let worker_handles: Vec<_> = (0..workers)
@@ -480,6 +498,10 @@ fn stats_response(ctx: &Ctx, id: Option<&str>) -> Json {
                     ("hits".to_string(), Json::from(cache.hits)),
                     ("misses".to_string(), Json::from(cache.misses)),
                     ("evictions".to_string(), Json::from(cache.evictions)),
+                    (
+                        "oversize_rejects".to_string(),
+                        Json::from(cache.oversize_rejects),
+                    ),
                 ]),
             ),
         ],
@@ -539,8 +561,17 @@ fn handle_job(ctx: &Ctx, job: Job) {
             n,
             faults,
             return_ring,
+            return_certificate,
         } => (
-            serve_embed(ctx, id.as_deref(), *n, faults, &options, *return_ring),
+            serve_embed(
+                ctx,
+                id.as_deref(),
+                *n,
+                faults,
+                &options,
+                *return_ring,
+                *return_certificate,
+            ),
             &ctx.obs.lat_embed,
         ),
         RequestBody::EmbedBatch {
@@ -603,6 +634,22 @@ fn embed_members(
     members
 }
 
+/// Server-side audit for `--verify` mode: full ring re-check plus the
+/// exact Theorem-1 length. Returns the failure reason, if any.
+fn audit_ring(n: usize, ring: &[star_perm::Perm], faults: &star_fault::FaultSet) -> Option<String> {
+    let expected = star_perm::factorial(n) - 2 * faults.vertex_fault_count() as u64;
+    if ring.len() as u64 != expected {
+        return Some(format!(
+            "ring length {} != n! - 2|F_v| = {expected}",
+            ring.len()
+        ));
+    }
+    star_verify::check_ring(n, ring, faults)
+        .err()
+        .map(|e| e.to_string())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn serve_embed(
     ctx: &Ctx,
     id: Option<&str>,
@@ -610,10 +657,25 @@ fn serve_embed(
     faults: &star_fault::FaultSet,
     options: &EmbedOptions,
     return_ring: bool,
+    return_certificate: bool,
 ) -> Json {
     match embed_cached(ctx, n, faults, options) {
         Ok((ring, cached)) => {
-            ok_response(id, "embed", embed_members(n, &ring, cached, return_ring))
+            if ctx.verify_responses {
+                if let Some(reason) = audit_ring(n, &ring, faults) {
+                    ctx.obs.verify_failed.incr(1);
+                    star_obs::flightrec::record("serve.verify_failed", reason.clone(), &[]);
+                    star_obs::flightrec::dump_on_failure("serve.verify_failed");
+                    return error_response(id, ErrorCode::VerifyFailed, &reason);
+                }
+            }
+            let mut members = embed_members(n, &ring, cached, return_ring);
+            if return_certificate || ctx.verify_responses {
+                let cert = star_verify::certificate::certificate_for(n, faults, &ring);
+                ctx.obs.certificates.incr(1);
+                members.push(("certificate".to_string(), Json::from(cert)));
+            }
+            ok_response(id, "embed", members)
         }
         Err(msg) => {
             ctx.obs.embed_failed.incr(1);
@@ -665,45 +727,52 @@ fn serve_batch(
         }
     }
     let mut failed = 0u64;
+    let mut verify_failed = 0u64;
+    let item_error = |code: ErrorCode, message: &str| {
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(false)),
+            ("error".to_string(), Json::from(code.as_str())),
+            ("message".to_string(), Json::from(message)),
+        ])
+    };
+    // `slots` is parallel to `scenarios` (input order), so zipping gives
+    // each item its own fault set back for the `--verify` audit.
     let items: Vec<Json> = slots
         .drain(..)
-        .map(|slot| match slot {
-            Slot::Ready(ring, cached) => {
-                let mut members = vec![("ok".to_string(), Json::Bool(true))];
-                members.extend(embed_members(n, &ring, cached, return_ring));
-                Json::Obj(members)
-            }
-            Slot::Pending(i) => match &embedded[i] {
-                Ok(ring) => {
-                    let mut members = vec![("ok".to_string(), Json::Bool(true))];
-                    members.extend(embed_members(n, ring.vertices(), false, return_ring));
-                    Json::Obj(members)
-                }
-                Err(e) => {
+        .zip(scenarios)
+        .map(|(slot, scenario)| {
+            let (ring, cached) = match slot {
+                Slot::Ready(ring, cached) => (ring, cached),
+                Slot::Pending(i) => match &embedded[i] {
+                    Ok(ring) => (Arc::from(ring.vertices().to_vec()), false),
+                    Err(e) => {
+                        failed += 1;
+                        return item_error(ErrorCode::EmbedFailed, &e.to_string());
+                    }
+                },
+                Slot::Bad(msg) => {
                     failed += 1;
-                    Json::Obj(vec![
-                        ("ok".to_string(), Json::Bool(false)),
-                        (
-                            "error".to_string(),
-                            Json::from(ErrorCode::EmbedFailed.as_str()),
-                        ),
-                        ("message".to_string(), Json::from(e.to_string())),
-                    ])
+                    return item_error(ErrorCode::BadRequest, &msg);
                 }
-            },
-            Slot::Bad(msg) => {
-                failed += 1;
-                Json::Obj(vec![
-                    ("ok".to_string(), Json::Bool(false)),
-                    (
-                        "error".to_string(),
-                        Json::from(ErrorCode::BadRequest.as_str()),
-                    ),
-                    ("message".to_string(), Json::from(msg)),
-                ])
+            };
+            // Non-Bad slots always come from an Ok scenario, so the
+            // if-let never skips a real audit.
+            if let (true, Ok(faults)) = (ctx.verify_responses, scenario.as_ref()) {
+                if let Some(reason) = audit_ring(n, &ring, faults) {
+                    verify_failed += 1;
+                    star_obs::flightrec::record("serve.verify_failed", reason.clone(), &[]);
+                    star_obs::flightrec::dump_on_failure("serve.verify_failed");
+                    return item_error(ErrorCode::VerifyFailed, &reason);
+                }
             }
+            let mut members = vec![("ok".to_string(), Json::Bool(true))];
+            members.extend(embed_members(n, &ring, cached, return_ring));
+            Json::Obj(members)
         })
         .collect();
+    if verify_failed > 0 {
+        ctx.obs.verify_failed.incr(verify_failed);
+    }
     if failed > 0 {
         ctx.obs.embed_failed.incr(failed);
     }

@@ -17,9 +17,14 @@
 //! - [`bounds`] — the closed-form bounds of the paper and of the prior art
 //!   it compares against.
 //! - [`certificate`] — portable, re-checkable ring certificates.
+//! - [`audit`] — the differential correctness gate: seeded sweeps
+//!   cross-checking the embedder against the exhaustive oracle, the
+//!   certificate layer, and the prior-art baselines, plus the repair
+//!   chaos soak.
 
 mod ring_check;
 
+pub mod audit;
 pub mod bounds;
 pub mod certificate;
 pub mod exhaustive;

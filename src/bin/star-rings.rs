@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         Some("dot") => cmd_dot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             Ok(())
@@ -113,6 +114,10 @@ fn usage() {
          \x20     --deadline-ms <d>   default per-request deadline (requests may\n\
          \x20                         override; expired work answers\n\
          \x20                         `deadline_exceeded` without embedding)\n\
+         \x20     --verify            audit every response against check_ring\n\
+         \x20                         before sending (answers `verify_failed`\n\
+         \x20                         instead of shipping a bad ring) and attach\n\
+         \x20                         a STARRING-CERT certificate to embeds\n\
          \x20     --flightrec         record accept/reject/deadline events; flushed\n\
          \x20                         to disk on graceful shutdown (SIGINT drains)\n\
          \x20     --flightrec-out <f> dump file for --flightrec (implies it)\n\
@@ -127,6 +132,24 @@ fn usage() {
          \x20     --out <f>           write the BENCH_*.json summary to <f>\n\
          \x20                         (default: stdout); exits nonzero on any\n\
          \x20                         protocol error\n\
+         \x20     --verify            request a STARRING-CERT with every embed\n\
+         \x20                         and re-verify it client-side; exits\n\
+         \x20                         nonzero on any certificate failure\n\
+         \x20 star-rings audit [OPTIONS]                  differential correctness gate:\n\
+         \x20                                             seeded sweeps cross-checking the\n\
+         \x20                                             embedder against the exhaustive\n\
+         \x20                                             oracle, certificates, and the\n\
+         \x20                                             Tseng/Latifi baselines, plus a\n\
+         \x20                                             repair chaos soak and a wire-\n\
+         \x20                                             protocol fuzz smoke; exits\n\
+         \x20                                             nonzero on any mismatch\n\
+         \x20     --n <max>           sweep dimensions 4..=max (default 6; max 6)\n\
+         \x20     --seeds <k>         seeded scenarios per dimension (default 200)\n\
+         \x20     --soak <k>          chaos-soak fault injections at n=6\n\
+         \x20                         (default 200; 0 disables)\n\
+         \x20     --fuzz <k>          hostile protocol frames against an\n\
+         \x20                         in-process server (default 96; 0 disables)\n\
+         \x20     --out <f>           write a BENCH_*.json timing summary to <f>\n\
          \n\
          Permutations are written as digit strings for n <= 9 (e.g. 321456)\n\
          and dot-separated otherwise (e.g. 10.2.3.1...)."
@@ -666,6 +689,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--deadline-ms must be an integer")?;
                 config.default_deadline_ms = Some(ms);
             }
+            "--verify" => config.verify_responses = true,
             "--flightrec" => flightrec = true,
             "--flightrec-out" => {
                 i += 1;
@@ -749,6 +773,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
                 i += 1;
                 out_path = Some(args.get(i).ok_or("--out needs a file path")?.clone());
             }
+            "--verify" => config.verify = true,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -769,7 +794,217 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             report.protocol_errors
         ));
     }
+    if report.cert_failures > 0 {
+        return Err(format!(
+            "{} certificate failures during the run",
+            report.cert_failures
+        ));
+    }
     Ok(())
+}
+
+/// `audit [--n <max>] [--seeds <k>] [--soak <k>] [--fuzz <k>] [--out <f>]`:
+/// the differential correctness gate. Exits nonzero on any mismatch, soak
+/// violation, or fuzz-invariant failure.
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let mut config = star_rings::verify::audit::AuditConfig::default();
+    let mut soak = 200usize;
+    let mut fuzz_iters = 96usize;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                config.max_n = args
+                    .get(i)
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "--n must be an integer")?;
+                if !(4..=6).contains(&config.max_n) {
+                    return Err("--n must be in 4..=6 (the oracle-checkable range)".to_string());
+                }
+            }
+            "--seeds" => {
+                i += 1;
+                config.seeds = args
+                    .get(i)
+                    .ok_or("--seeds needs a count")?
+                    .parse()
+                    .map_err(|_| "--seeds must be an integer")?;
+            }
+            "--soak" => {
+                i += 1;
+                soak = args
+                    .get(i)
+                    .ok_or("--soak needs a count")?
+                    .parse()
+                    .map_err(|_| "--soak must be an integer (0 disables)")?;
+            }
+            "--fuzz" => {
+                i += 1;
+                fuzz_iters = args
+                    .get(i)
+                    .ok_or("--fuzz needs a count")?
+                    .parse()
+                    .map_err(|_| "--fuzz must be an integer (0 disables)")?;
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).ok_or("--out needs a file path")?.clone());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut cases: Vec<star_rings::bench::baseline::BaselineCase> = Vec::new();
+
+    // 1. Differential sweep.
+    let t0 = std::time::Instant::now();
+    let report = star_rings::verify::audit::run(&config);
+    eprintln!(
+        "audit: differential sweep — {} scenarios across n=4..={}, {} mismatches ({:.2}s)",
+        report.scenarios(),
+        config.max_n,
+        report.mismatches.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    for c in &report.cases {
+        eprintln!(
+            "  n={}: {} scenarios, {} oracle-checked, {} certificates, median {:.1} us, p95 {:.1} us",
+            c.n,
+            c.scenarios,
+            c.oracle_checked,
+            c.certificates,
+            c.median_ns as f64 / 1e3,
+            c.p95_ns as f64 / 1e3
+        );
+        cases.push(star_rings::bench::baseline::BaselineCase {
+            name: format!("audit/differential/n{}", c.n),
+            n: c.n,
+            mode: "audit".to_string(),
+            samples: c.scenarios,
+            median_ns: c.median_ns,
+            p95_ns: c.p95_ns,
+            oracle_hit_rate: 1.0,
+            pool_items_per_worker: 0.0,
+        });
+    }
+    failures.extend(
+        report
+            .mismatches
+            .iter()
+            .map(|m| format!("differential: {m}")),
+    );
+
+    // 2. Chaos soak through MaintainedRing::fail.
+    if soak > 0 {
+        let t0 = std::time::Instant::now();
+        let (mismatches, (local, global, refused)) =
+            star_rings::verify::audit::soak_repairs(6, soak, 0xC0FFEE);
+        let dt = t0.elapsed();
+        eprintln!(
+            "audit: chaos soak — {soak} injections at n=6 ({local} local, {global} global, \
+             {refused} refused), {} violations ({:.2}s)",
+            mismatches.len(),
+            dt.as_secs_f64()
+        );
+        cases.push(star_rings::bench::baseline::BaselineCase {
+            name: "audit/soak/n6".to_string(),
+            n: 6,
+            mode: "audit".to_string(),
+            samples: soak,
+            median_ns: (dt.as_nanos() as u64) / soak.max(1) as u64,
+            p95_ns: (dt.as_nanos() as u64) / soak.max(1) as u64,
+            oracle_hit_rate: 1.0,
+            pool_items_per_worker: 0.0,
+        });
+        failures.extend(mismatches.iter().map(|m| format!("soak: {m}")));
+    }
+
+    // 3. Wire-protocol fuzz smoke against an in-process server.
+    if fuzz_iters > 0 {
+        failures.extend(audit_fuzz_smoke(fuzz_iters)?);
+    }
+
+    if let Some(path) = &out_path {
+        let baseline = star_rings::bench::baseline::Baseline {
+            created_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            cases,
+        };
+        std::fs::write(path, baseline.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("audit: timing summary written to {path}");
+    }
+
+    if failures.is_empty() {
+        println!("audit PASS");
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("audit FAIL: {f}");
+        }
+        Err(format!("audit found {} failure(s)", failures.len()))
+    }
+}
+
+/// Boots a throwaway server on a free port, fuzzes its wire protocol, and
+/// shuts it down. Returns the list of crash-free-invariant violations.
+fn audit_fuzz_smoke(iterations: usize) -> Result<Vec<String>, String> {
+    // Probe a free port, release it, and bind the server there. The
+    // window between release and rebind is ours alone in practice (the
+    // kernel does not reissue the ephemeral port immediately).
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+        probe.local_addr().map_err(|e| e.to_string())?.to_string()
+    };
+    let config = star_rings::serve::ServeConfig {
+        addr: addr.clone(),
+        ..Default::default()
+    };
+    let server = std::thread::spawn(move || star_rings::serve::run(config));
+    // Wait for the socket to accept.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if std::net::TcpStream::connect(&addr).is_ok() {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            star_rings::serve::request_shutdown();
+            let _ = server.join();
+            return Err("audit: fuzz server did not come up within 10s".to_string());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let result = star_rings::serve::fuzz::run(&star_rings::serve::fuzz::FuzzConfig {
+        addr,
+        iterations,
+        seed: 0xF422,
+    });
+    star_rings::serve::request_shutdown();
+    match server.join() {
+        Ok(Ok(_)) => {}
+        Ok(Err(e)) => return Err(format!("audit: fuzz server failed: {e}")),
+        Err(_) => return Err("audit: fuzz server panicked".to_string()),
+    }
+    let report = result?;
+    eprintln!(
+        "audit: protocol fuzz — {} hostile frames ({} error responses, {} hangups), \
+         {} invariant violations",
+        report.sent,
+        report.error_responses,
+        report.hangups,
+        report.failures.len()
+    );
+    Ok(report
+        .failures
+        .iter()
+        .map(|f| format!("fuzz: {f}"))
+        .collect())
 }
 
 fn cmd_degrade(args: &[String]) -> Result<(), String> {
