@@ -84,6 +84,12 @@ pub fn embed_with_options(
     let mut root = star_obs::span("embed");
     root.record("n", n);
     root.record("faults", faults.vertex_fault_count());
+    if let Some(trace) = star_obs::current_trace() {
+        // Serving sets the request's trace id on the worker thread; the
+        // whole construction transcript joins to it through this field
+        // (flight-recorder events pick it up thread-locally on their own).
+        root.record("trace", star_obs::format_trace(trace));
+    }
 
     let embed = || -> Result<EmbeddedRing, EmbedError> {
         let vertices = match n {

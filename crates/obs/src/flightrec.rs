@@ -66,6 +66,9 @@ pub struct FlightEvent {
     /// Innermost span open on the recording thread at record time
     /// (empty when the event fired outside any span).
     pub phase: &'static str,
+    /// Trace id set on the recording thread ([`crate::trace`]) at record
+    /// time; `0` = the event fired outside any traced request.
+    pub trace: u128,
     /// Event kind: `span.open`, `span.close`, `counter`, `pool.dispatch`,
     /// `oracle.miss`, `chaos.inject`, `panic`, ….
     pub kind: &'static str,
@@ -89,6 +92,10 @@ impl FlightEvent {
         );
         out.push_str(",\"phase\":");
         crate::json::push_json_str(&mut out, self.phase);
+        if self.trace != 0 {
+            out.push_str(",\"trace\":");
+            crate::json::push_json_str(&mut out, &crate::trace::format_trace(self.trace));
+        }
         out.push_str(",\"kind\":");
         crate::json::push_json_str(&mut out, self.kind);
         out.push_str(",\"name\":");
@@ -207,6 +214,7 @@ pub fn record(kind: &'static str, name: impl Into<String>, fields: &[(&'static s
         at_ns: process_clock_ns(),
         thread: crate::span::current_thread_id(),
         phase: current_phase(),
+        trace: crate::trace::current_trace_raw(),
         kind,
         name: name.into(),
         fields: fields.to_vec(),
@@ -433,6 +441,9 @@ pub fn render_pretty(events: &[FlightEvent]) -> String {
         if !ev.phase.is_empty() {
             let _ = write!(out, " [{}]", ev.phase);
         }
+        if ev.trace != 0 {
+            let _ = write!(out, " trace={:x}", ev.trace);
+        }
         let _ = write!(out, " {} {}", ev.kind, ev.name);
         for (k, v) in &ev.fields {
             let mut val = String::new();
@@ -532,11 +543,12 @@ mod tests {
 
     #[test]
     fn json_shape() {
-        let ev = FlightEvent {
+        let mut ev = FlightEvent {
             seq: 7,
             at_ns: 1500,
             thread: 2,
             phase: "embed.expand",
+            trace: 0,
             kind: "counter",
             name: "oracle.miss".into(),
             fields: vec![("delta", FieldValue::U64(1))],
@@ -547,6 +559,35 @@ mod tests {
              \"phase\":\"embed.expand\",\"kind\":\"counter\",\
              \"name\":\"oracle.miss\",\"fields\":{\"delta\":1}}"
         );
+        // A traced event carries the id as padded hex, right after phase.
+        ev.trace = 0xabc;
+        assert_eq!(
+            ev.to_json(),
+            "{\"type\":\"event\",\"seq\":7,\"at_ns\":1500,\"thread\":2,\
+             \"phase\":\"embed.expand\",\
+             \"trace\":\"00000000000000000000000000000abc\",\
+             \"kind\":\"counter\",\
+             \"name\":\"oracle.miss\",\"fields\":{\"delta\":1}}"
+        );
+    }
+
+    #[test]
+    fn events_inherit_the_thread_trace_id() {
+        enable_with_capacity(DEFAULT_CAPACITY);
+        {
+            let _t = crate::trace::with_trace(0xfeed);
+            record("test.frec", "frec.traced", &[]);
+        }
+        record("test.frec", "frec.untraced", &[]);
+        let events = drain();
+        let traced = events.iter().find(|e| e.name == "frec.traced").unwrap();
+        assert_eq!(traced.trace, 0xfeed);
+        assert!(traced
+            .to_json()
+            .contains("\"trace\":\"0000000000000000000000000000feed\""));
+        let untraced = events.iter().find(|e| e.name == "frec.untraced").unwrap();
+        assert_eq!(untraced.trace, 0);
+        assert!(!untraced.to_json().contains("\"trace\""));
     }
 
     #[test]
@@ -658,6 +699,7 @@ mod tests {
             at_ns: 2_000_000,
             thread: 1,
             phase: "sim.chaos",
+            trace: 0x1f,
             kind: "chaos.inject",
             name: "123456".into(),
             fields: vec![("lap", FieldValue::U64(4))],
@@ -665,6 +707,7 @@ mod tests {
         let text = render_pretty(std::slice::from_ref(&ev));
         assert!(text.contains("#3"));
         assert!(text.contains("[sim.chaos]"));
+        assert!(text.contains("trace=1f"));
         assert!(text.contains("chaos.inject 123456"));
         assert!(text.contains("lap=4"));
     }

@@ -51,9 +51,10 @@ pub mod registry;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use flightrec::FlightEvent;
-pub use hist::{Histogram, HistogramSnapshot};
+pub use hist::{Histogram, HistogramSnapshot, LocalHistogram};
 pub use profile::{Profile, ProfileNode};
 pub use registry::{global, Counter, Hist, Registry};
 pub use sink::{
@@ -65,6 +66,7 @@ pub use span::{
     capture, metrics_enabled, process_clock_ns, set_metrics_enabled, set_trace_enabled, span,
     trace_enabled, Capture, FieldValue, SpanGuard, SpanRecord,
 };
+pub use trace::{current_trace, format_trace, parse_trace, with_trace, TraceGuard};
 
 /// The global counter named `name` (cache the handle on hot paths).
 pub fn counter(name: &str) -> Counter {

@@ -1,0 +1,134 @@
+//! Request-trace propagation: a per-thread current **trace id**.
+//!
+//! A trace id is a client-generated `u128` (rendered as lowercase hex on
+//! the wire and in dumps) that follows one request end to end: the
+//! serving layer sets it on the worker thread before any embed work runs
+//! ([`with_trace`]), and every flight-recorder event recorded while it
+//! is set — span opens/closes, counter flushes, serve admission events —
+//! carries it. Joining a loadgen latency sample, a server span, and a
+//! flight-recorder dump is then a single equality match on the id.
+//!
+//! `0` is reserved as "no trace": [`current_trace`] returns `None` for
+//! it, and the wire layer rejects all-zero ids so the two can never be
+//! confused.
+//!
+//! The mechanism is deliberately thread-local (like the span stack):
+//! setting and clearing a trace id is two `Cell` writes, so the disabled
+//! path costs nothing measurable on top of a span.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u128> = const { Cell::new(0) };
+}
+
+/// The trace id currently set on this thread, if any.
+#[inline]
+pub fn current_trace() -> Option<u128> {
+    let id = CURRENT_TRACE.with(Cell::get);
+    (id != 0).then_some(id)
+}
+
+/// The raw current trace id (`0` = none) — the flight recorder's
+/// hot-path accessor.
+#[inline]
+pub(crate) fn current_trace_raw() -> u128 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// Sets the current thread's trace id for the guard's lifetime,
+/// restoring the previous id (usually none) on drop. Guards nest.
+pub fn with_trace(id: u128) -> TraceGuard {
+    let previous = CURRENT_TRACE.with(|c| c.replace(id));
+    TraceGuard { previous }
+}
+
+/// RAII scope for [`with_trace`].
+pub struct TraceGuard {
+    previous: u128,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.previous));
+    }
+}
+
+/// Renders a trace id the way it travels on the wire and in dumps:
+/// 32 lowercase hex digits, zero-padded.
+pub fn format_trace(id: u128) -> String {
+    format!("{id:032x}")
+}
+
+/// Parses a wire trace id: 1..=32 hex digits, any case, nonzero.
+pub fn parse_trace(text: &str) -> Result<u128, String> {
+    if text.is_empty() || text.len() > 32 {
+        return Err("trace_id must be 1..=32 hex digits".to_string());
+    }
+    if !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        // from_str_radix would accept a leading sign; the wire form is
+        // bare digits only.
+        return Err(format!("trace_id `{text}` is not hexadecimal"));
+    }
+    let id = u128::from_str_radix(text, 16)
+        .map_err(|_| format!("trace_id `{text}` is not hexadecimal"))?;
+    if id == 0 {
+        return Err("trace_id must be nonzero".to_string());
+    }
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_sets_and_restores() {
+        assert_eq!(current_trace(), None);
+        {
+            let _g = with_trace(0xabc);
+            assert_eq!(current_trace(), Some(0xabc));
+            {
+                let _inner = with_trace(0xdef);
+                assert_eq!(current_trace(), Some(0xdef));
+            }
+            assert_eq!(current_trace(), Some(0xabc));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn trace_ids_are_thread_local() {
+        let _g = with_trace(7);
+        std::thread::spawn(|| assert_eq!(current_trace(), None))
+            .join()
+            .unwrap();
+        assert_eq!(current_trace(), Some(7));
+    }
+
+    #[test]
+    fn format_and_parse_round_trip() {
+        let id = 0xdead_beef_0000_0001u128;
+        let text = format_trace(id);
+        assert_eq!(text.len(), 32);
+        assert_eq!(parse_trace(&text).unwrap(), id);
+        // Short and uppercase forms parse too.
+        assert_eq!(parse_trace("ABC").unwrap(), 0xabc);
+        assert_eq!(parse_trace(&"f".repeat(32)).unwrap(), u128::MAX);
+    }
+
+    #[test]
+    fn bad_trace_ids_are_rejected() {
+        for bad in [
+            "",
+            "0",
+            "00000000000000000000000000000000",
+            "xyz",
+            "+abc",
+            "-1",
+            &"f".repeat(33),
+        ] {
+            assert!(parse_trace(bad).is_err(), "`{bad}` accepted");
+        }
+    }
+}

@@ -36,6 +36,24 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// A second handle on the same connection (shared socket, independent
+    /// buffers) — the open-loop load generator sends from one thread and
+    /// receives on another.
+    pub fn try_clone(&self) -> Result<Client, String> {
+        self.stream
+            .try_clone()
+            .map(|stream| Client { stream })
+            .map_err(|e| format!("clone connection: {e}"))
+    }
+
+    /// Adjusts how long one socket read blocks before reporting idle —
+    /// bounds the latency of shutdown/drain checks in receive loops.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), String> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| e.to_string())
+    }
+
     /// Sends a request without waiting for the response (for pipelining).
     pub fn send(&mut self, request: &Json) -> Result<(), String> {
         let body = request.to_string();
@@ -117,6 +135,18 @@ pub fn certified_embed_request(
     let mut request = embed_request(id, n, faults, deadline_ms);
     if let Json::Obj(members) = &mut request {
         members.push(("return_certificate".to_string(), Json::Bool(true)));
+    }
+    request
+}
+
+/// Attaches a client-generated trace id (`"trace_id"`, hex) to any
+/// request body built by the helpers above.
+pub fn with_trace_id(mut request: Json, trace_id: u128) -> Json {
+    if let Json::Obj(members) = &mut request {
+        members.push((
+            "trace_id".to_string(),
+            Json::from(star_obs::format_trace(trace_id)),
+        ));
     }
     request
 }

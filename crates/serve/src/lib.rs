@@ -38,7 +38,9 @@ pub mod loadgen;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod slo;
 
 pub use client::Client;
-pub use loadgen::{LoadgenConfig, LoadgenReport, Mix};
+pub use loadgen::{Arrivals, LoadgenConfig, LoadgenReport, Mix};
 pub use server::{request_shutdown, run, ServeConfig, ServeSummary};
+pub use slo::SloConfig;

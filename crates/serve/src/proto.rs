@@ -14,8 +14,12 @@
 //! ```
 //!
 //! All work requests accept optional `"id"` (echoed back opaquely),
-//! `"deadline_ms"` (enforced at dequeue — an expired request is answered
-//! `deadline_exceeded` before any embed work runs) and `"options"`
+//! `"trace_id"` (a client-generated hex string of up to 32 digits — the
+//! end-to-end trace id: the server echoes it into the response, stamps
+//! it on every span and flight-recorder event the request produces, and
+//! tags SLO-breach dumps with it), `"deadline_ms"` (enforced at dequeue
+//! — an expired request is answered `deadline_exceeded` before any
+//! embed work runs) and `"options"`
 //! (`{"verify":bool,"salt":int,"spare_index":int}`, the
 //! [`EmbedOptions`] knobs). Embed requests additionally accept
 //! `"return_certificate":true` to get a STARRING-CERT v1 proof attached
@@ -23,7 +27,10 @@
 //! `--verify`). Responses always carry `"ok"`; failures are
 //! `{"ok":false,"error":<code>,"message":…}` with `error` one of
 //! `bad_request`, `overloaded`, `deadline_exceeded`, `embed_failed`,
-//! `verify_failed`, `shutting_down`.
+//! `verify_failed`, `shutting_down`. Queued-work responses (success or
+//! failure) for a traced request carry `"trace_id"` plus a
+//! `"server_timing"` object ([`ServerTiming`]) breaking the server-side
+//! wall time into `queue_us`/`embed_us`/`verify_us`/`encode_us`.
 //!
 //! Faults and ring vertices travel as permutation strings in the same
 //! format the CLI uses (digit strings for `n <= 9`, dot-separated
@@ -195,6 +202,9 @@ pub enum RequestBody {
 pub struct Request {
     /// Opaque client correlation id, echoed into the response.
     pub id: Option<String>,
+    /// Client-generated end-to-end trace id (nonzero; `None` when the
+    /// client did not ask to be traced).
+    pub trace_id: Option<u128>,
     /// Per-request deadline budget in milliseconds (from receipt).
     pub deadline_ms: Option<u64>,
     /// Embedder knobs.
@@ -213,6 +223,13 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or("missing `kind`")?;
         let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
+        let trace_id = match doc.get("trace_id") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let text = v.as_str().ok_or("trace_id must be a hex string")?;
+                Some(star_obs::parse_trace(text)?)
+            }
+        };
         let deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
         let options = parse_options(doc.get("options"))?;
         let body = match kind {
@@ -259,6 +276,7 @@ impl Request {
         };
         Ok(Request {
             id,
+            trace_id,
             deadline_ms,
             options,
             body,
@@ -344,6 +362,58 @@ fn parse_options(v: Option<&Json>) -> Result<EmbedOptions, String> {
     Ok(opts)
 }
 
+/// Per-phase server-side wall-time breakdown attached to queued-work
+/// responses (`"server_timing"`), microseconds per phase. Phases that
+/// did not run for a request (e.g. `embed_us` on a deadline miss) stay
+/// zero but are always present, so clients can subtract without
+/// existence checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerTiming {
+    /// Receipt to worker dequeue (admission + queue wait).
+    pub queue_us: u64,
+    /// Embedding (or batch / ring-check) work.
+    pub embed_us: u64,
+    /// Server-side audit of the produced ring (0 unless `--verify` or
+    /// `return_certificate` ran one).
+    pub verify_us: u64,
+    /// Response construction (ring serialization dominates).
+    pub encode_us: u64,
+}
+
+impl ServerTiming {
+    /// The wire object: `{"queue_us":…,"embed_us":…,"verify_us":…,
+    /// "encode_us":…}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("queue_us".to_string(), Json::from(self.queue_us)),
+            ("embed_us".to_string(), Json::from(self.embed_us)),
+            ("verify_us".to_string(), Json::from(self.verify_us)),
+            ("encode_us".to_string(), Json::from(self.encode_us)),
+        ])
+    }
+
+    /// Parses the wire object back (loadgen's per-trace log re-emits it).
+    pub fn from_json(v: &Json) -> Option<ServerTiming> {
+        Some(ServerTiming {
+            queue_us: v.get("queue_us")?.as_u64()?,
+            embed_us: v.get("embed_us")?.as_u64()?,
+            verify_us: v.get("verify_us")?.as_u64()?,
+            encode_us: v.get("encode_us")?.as_u64()?,
+        })
+    }
+}
+
+/// Appends the tracing members (`trace_id`, `server_timing`) a queued
+/// response carries when the request asked to be traced. Centralized so
+/// success and failure paths emit the identical shape.
+pub fn attach_trace(members: &mut Vec<(String, Json)>, trace_id: u128, timing: &ServerTiming) {
+    members.push((
+        "trace_id".to_string(),
+        Json::from(star_obs::format_trace(trace_id)),
+    ));
+    members.push(("server_timing".to_string(), timing.to_json()));
+}
+
 /// Builds a failure response.
 pub fn error_response(id: Option<&str>, code: ErrorCode, message: &str) -> Json {
     let mut members = vec![
@@ -355,6 +425,24 @@ pub fn error_response(id: Option<&str>, code: ErrorCode, message: &str) -> Json 
         members.push(("id".to_string(), Json::from(id)));
     }
     Json::Obj(members)
+}
+
+/// [`error_response`] plus the tracing members, for failures on the
+/// queued path (overload rejections, deadline misses, embed errors) of
+/// a traced request — the client's per-trace log keeps its timing
+/// breakdown even when the answer is an error.
+pub fn error_response_traced(
+    id: Option<&str>,
+    code: ErrorCode,
+    message: &str,
+    trace_id: u128,
+    timing: &ServerTiming,
+) -> Json {
+    let mut json = error_response(id, code, message);
+    if let Json::Obj(members) = &mut json {
+        attach_trace(members, trace_id, timing);
+    }
+    json
 }
 
 /// Builds a success response from kind-specific members (prepends
@@ -513,6 +601,57 @@ mod tests {
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn trace_ids_parse_and_reject() {
+        let req = Request::parse(br#"{"kind":"embed","n":5,"trace_id":"00ab"}"#).unwrap();
+        assert_eq!(req.trace_id, Some(0xab));
+        let untraced = Request::parse(br#"{"kind":"embed","n":5}"#).unwrap();
+        assert_eq!(untraced.trace_id, None);
+        for bad in [
+            &br#"{"kind":"embed","n":5,"trace_id":""}"#[..],
+            br#"{"kind":"embed","n":5,"trace_id":"0"}"#,
+            br#"{"kind":"embed","n":5,"trace_id":"zz"}"#,
+            br#"{"kind":"embed","n":5,"trace_id":7}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn server_timing_round_trips_and_has_stable_shape() {
+        let t = ServerTiming {
+            queue_us: 1,
+            embed_us: 2,
+            verify_us: 0,
+            encode_us: 4,
+        };
+        let json = t.to_json();
+        assert_eq!(
+            json.to_string(),
+            r#"{"queue_us":1,"embed_us":2,"verify_us":0,"encode_us":4}"#
+        );
+        assert_eq!(ServerTiming::from_json(&json), Some(t));
+
+        let mut members = vec![("ring_len".to_string(), Json::from(120u64))];
+        attach_trace(&mut members, 0xbeef, &t);
+        let ok = ok_response(Some("a"), "embed", members);
+        assert_eq!(
+            ok.to_string(),
+            concat!(
+                r#"{"ok":true,"kind":"embed","ring_len":120,"#,
+                r#""trace_id":"0000000000000000000000000000beef","#,
+                r#""server_timing":{"queue_us":1,"embed_us":2,"verify_us":0,"encode_us":4},"#,
+                r#""id":"a"}"#
+            )
+        );
+
+        let err = error_response_traced(Some("b"), ErrorCode::DeadlineExceeded, "late", 0xbeef, &t);
+        let text = err.to_string();
+        assert!(text.starts_with(r#"{"ok":false,"error":"deadline_exceeded""#));
+        assert!(text.contains(r#""trace_id":"0000000000000000000000000000beef""#));
+        assert!(text.contains(r#""server_timing":{"queue_us":1"#));
     }
 
     #[test]

@@ -40,10 +40,11 @@ use star_ring::{embed_many_with_options, embed_with_options, EmbedOptions};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::proto::{
-    error_response, ok_response, read_frame, ring_to_json, write_frame, ErrorCode, FrameRead,
-    Request, RequestBody,
+    attach_trace, error_response, error_response_traced, ok_response, read_frame, ring_to_json,
+    write_frame, ErrorCode, FrameRead, Request, RequestBody, ServerTiming,
 };
 use crate::queue::{BoundedQueue, PushError};
+use crate::slo::{Outcome, SloConfig, Watchdog};
 
 /// Idle-poll period for connection reads and worker pops; bounds how
 /// long shutdown waits on a quiescent thread.
@@ -69,6 +70,10 @@ pub struct ServeConfig {
     /// every embed response. A ring that fails the audit is answered
     /// `verify_failed` instead of being served.
     pub verify_responses: bool,
+    /// SLO watchdog (`--slo-ms` and friends): rolling error-budget
+    /// monitor over the queued path; a breach auto-dumps the flight
+    /// recorder tagged with the offending trace ids. `None` = off.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +89,7 @@ impl Default for ServeConfig {
             cache_bytes: 256 << 20,
             default_deadline_ms: None,
             verify_responses: false,
+            slo: None,
         }
     }
 }
@@ -174,10 +180,15 @@ struct ServeObs {
     verify_failed: star_obs::Counter,
     certificates: star_obs::Counter,
     write_errors: star_obs::Counter,
+    inline_health: star_obs::Counter,
+    inline_stats: star_obs::Counter,
     queue_depth: star_obs::Hist,
     lat_embed: star_obs::Hist,
     lat_batch: star_obs::Hist,
     lat_verify: star_obs::Hist,
+    // Inline control-plane responses get their own histogram so embed
+    // latency percentiles are never diluted by microsecond health pings.
+    lat_inline: star_obs::Hist,
 }
 
 fn obs() -> &'static ServeObs {
@@ -194,10 +205,13 @@ fn obs() -> &'static ServeObs {
         verify_failed: star_obs::counter("serve.verify_failed"),
         certificates: star_obs::counter("serve.certificates"),
         write_errors: star_obs::counter("serve.write_errors"),
+        inline_health: star_obs::counter("serve.inline.health"),
+        inline_stats: star_obs::counter("serve.inline.stats"),
         queue_depth: star_obs::histogram("serve.queue.depth"),
         lat_embed: star_obs::histogram("serve.latency.embed"),
         lat_batch: star_obs::histogram("serve.latency.embed_batch"),
         lat_verify: star_obs::histogram("serve.latency.verify"),
+        lat_inline: star_obs::histogram("serve.latency.inline"),
     })
 }
 
@@ -210,6 +224,7 @@ struct Ctx {
     default_deadline: Option<Duration>,
     queue_capacity: usize,
     verify_responses: bool,
+    slo: Option<Watchdog>,
     active_conns: AtomicUsize,
     served: AtomicU64,
     rejected_overloaded: AtomicU64,
@@ -249,6 +264,7 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
         default_deadline: config.default_deadline_ms.map(Duration::from_millis),
         queue_capacity: config.queue_capacity,
         verify_responses: config.verify_responses,
+        slo: config.slo.map(Watchdog::new),
         active_conns: AtomicUsize::new(0),
         served: AtomicU64::new(0),
         rejected_overloaded: AtomicU64::new(0),
@@ -259,13 +275,17 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
     println!("star-serve listening on {local}");
     std::io::stdout().flush().ok();
     eprintln!(
-        "star-serve: {workers} workers, queue {}, cache {} MiB{}",
+        "star-serve: {workers} workers, queue {}, cache {} MiB{}{}",
         config.queue_capacity,
         config.cache_bytes >> 20,
         if config.verify_responses {
             ", verify on"
         } else {
             ""
+        },
+        match &ctx.slo {
+            Some(dog) => format!(", slo {}ms", dog.target().as_millis()),
+            None => String::new(),
         }
     );
 
@@ -385,10 +405,17 @@ fn handle_frame(ctx: &Ctx, conn: &Arc<Conn>, bytes: &[u8]) {
             return;
         }
     };
+    // Admission-path flight-recorder events (reject, shutdown) carry the
+    // request's trace id; the worker sets its own guard after dequeue.
+    let _trace = request.trace_id.map(star_obs::with_trace);
     match request.body {
         // Control-plane requests answer inline: they must stay cheap and
-        // must not queue behind (or be rejected with) embed work.
+        // must not queue behind (or be rejected with) embed work. They
+        // are counted and timed apart from embed work — a load balancer
+        // health-checking every second must not dilute embed latency
+        // percentiles.
         RequestBody::Health => {
+            ctx.obs.inline_health.incr(1);
             let status = if shutting_down() {
                 "draining"
             } else {
@@ -408,9 +435,16 @@ fn handle_frame(ctx: &Ctx, conn: &Arc<Conn>, bytes: &[u8]) {
                     ],
                 ),
             );
+            ctx.obs
+                .lat_inline
+                .observe_ns(received.elapsed().as_nanos() as u64);
         }
         RequestBody::Stats => {
+            ctx.obs.inline_stats.incr(1);
             conn.respond(ctx, &stats_response(ctx, request.id.as_deref()));
+            ctx.obs
+                .lat_inline
+                .observe_ns(received.elapsed().as_nanos() as u64);
         }
         _ => {
             let deadline = request
@@ -443,8 +477,8 @@ fn handle_frame(ctx: &Ctx, conn: &Arc<Conn>, bytes: &[u8]) {
                     }
                     job.conn.respond(
                         ctx,
-                        &error_response(
-                            job.request.id.as_deref(),
+                        &reject_response(
+                            &job,
                             ErrorCode::Overloaded,
                             &format!("request queue at high-water mark ({})", ctx.queue_capacity),
                         ),
@@ -454,15 +488,34 @@ fn handle_frame(ctx: &Ctx, conn: &Arc<Conn>, bytes: &[u8]) {
                     ctx.obs.rejected_shutdown.incr(1);
                     job.conn.respond(
                         ctx,
-                        &error_response(
-                            job.request.id.as_deref(),
-                            ErrorCode::ShuttingDown,
-                            "server is draining",
-                        ),
+                        &reject_response(&job, ErrorCode::ShuttingDown, "server is draining"),
                     );
                 }
             }
         }
+    }
+}
+
+/// Microseconds in `d`, saturating into `u64` (wire unit for timings).
+fn micros(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// A rejection on the admission path: for traced requests the response
+/// still carries the trace id and the queue time spent before rejection.
+fn reject_response(job: &Job, code: ErrorCode, message: &str) -> Json {
+    match job.request.trace_id {
+        Some(trace) => error_response_traced(
+            job.request.id.as_deref(),
+            code,
+            message,
+            trace,
+            &ServerTiming {
+                queue_us: micros(job.received.elapsed()),
+                ..ServerTiming::default()
+            },
+        ),
+        None => error_response(job.request.id.as_deref(), code, message),
     }
 }
 
@@ -489,6 +542,16 @@ fn stats_response(ctx: &Ctx, id: Option<&str>) -> Json {
             (
                 "rejected_deadline".to_string(),
                 Json::from(ctx.rejected_deadline.load(Ordering::Relaxed)),
+            ),
+            (
+                "inline".to_string(),
+                Json::Obj(vec![
+                    (
+                        "health".to_string(),
+                        Json::from(ctx.obs.inline_health.get()),
+                    ),
+                    ("stats".to_string(), Json::from(ctx.obs.inline_stats.get())),
+                ]),
             ),
             (
                 "cache".to_string(),
@@ -523,6 +586,15 @@ fn worker_loop(ctx: &Ctx) {
 }
 
 fn handle_job(ctx: &Ctx, job: Job) {
+    // The request's trace id covers everything the worker does for it:
+    // the embed span tree, flight-recorder events (deadline misses,
+    // verify failures, counter flushes), and the SLO offender log all
+    // join on it.
+    let _trace = job.request.trace_id.map(star_obs::with_trace);
+    let mut timing = ServerTiming {
+        queue_us: micros(job.received.elapsed()),
+        ..ServerTiming::default()
+    };
     // Deadline enforcement happens here, at dequeue, before any embed
     // work runs: a request that waited out its budget in the queue is
     // answered `deadline_exceeded` without touching the embedder.
@@ -534,29 +606,25 @@ fn handle_job(ctx: &Ctx, job: Job) {
                 star_obs::flightrec::record(
                     "serve.deadline_miss",
                     job.request.kind(),
-                    &[(
-                        "waited_us",
-                        star_obs::FieldValue::U64(job.received.elapsed().as_micros() as u64),
-                    )],
+                    &[("waited_us", star_obs::FieldValue::U64(timing.queue_us))],
                 );
             }
-            job.conn.respond(
-                ctx,
-                &error_response(
-                    job.request.id.as_deref(),
-                    ErrorCode::DeadlineExceeded,
-                    &format!(
-                        "deadline expired after {}us in queue",
-                        job.received.elapsed().as_micros()
-                    ),
-                ),
+            let mut response = error_response(
+                job.request.id.as_deref(),
+                ErrorCode::DeadlineExceeded,
+                &format!("deadline expired after {}us in queue", timing.queue_us),
             );
+            if let (Some(trace), Json::Obj(members)) = (job.request.trace_id, &mut response) {
+                attach_trace(members, trace, &timing);
+            }
+            job.conn.respond(ctx, &response);
+            observe_slo(ctx, &job, true, &timing);
             return;
         }
     }
     let id = job.request.id.clone();
     let options = job.request.options.clone();
-    let (response, hist) = match &job.request.body {
+    let (mut response, hist) = match &job.request.body {
         RequestBody::Embed {
             n,
             faults,
@@ -571,6 +639,7 @@ fn handle_job(ctx: &Ctx, job: Job) {
                 &options,
                 *return_ring,
                 *return_certificate,
+                &mut timing,
             ),
             &ctx.obs.lat_embed,
         ),
@@ -579,20 +648,45 @@ fn handle_job(ctx: &Ctx, job: Job) {
             scenarios,
             return_ring,
         } => (
-            serve_batch(ctx, id.as_deref(), *n, scenarios, &options, *return_ring),
+            serve_batch(
+                ctx,
+                id.as_deref(),
+                *n,
+                scenarios,
+                &options,
+                *return_ring,
+                &mut timing,
+            ),
             &ctx.obs.lat_batch,
         ),
         RequestBody::Verify { n, ring, faults } => (
-            serve_verify(id.as_deref(), *n, ring, faults),
+            serve_verify(id.as_deref(), *n, ring, faults, &mut timing),
             &ctx.obs.lat_verify,
         ),
         // Health/stats never reach the queue.
         RequestBody::Health | RequestBody::Stats => unreachable!("inline request queued"),
     };
+    if let (Some(trace), Json::Obj(members)) = (job.request.trace_id, &mut response) {
+        attach_trace(members, trace, &timing);
+    }
     hist.observe_ns(job.received.elapsed().as_nanos() as u64);
     ctx.served.fetch_add(1, Ordering::Relaxed);
     ctx.obs.served.incr(1);
     job.conn.respond(ctx, &response);
+    observe_slo(ctx, &job, false, &timing);
+}
+
+/// Feeds one finished queued request into the SLO watchdog (no-op when
+/// the watchdog is off).
+fn observe_slo(ctx: &Ctx, job: &Job, deadline_miss: bool, timing: &ServerTiming) {
+    if let Some(dog) = &ctx.slo {
+        dog.observe(&Outcome {
+            trace: job.request.trace_id,
+            latency: job.received.elapsed(),
+            deadline_miss,
+            timing: *timing,
+        });
+    }
 }
 
 /// Embeds one scenario through the cache; returns `(ring, cached)` or
@@ -658,20 +752,33 @@ fn serve_embed(
     options: &EmbedOptions,
     return_ring: bool,
     return_certificate: bool,
+    timing: &mut ServerTiming,
 ) -> Json {
-    match embed_cached(ctx, n, faults, options) {
+    let embed_start = Instant::now();
+    let embedded = embed_cached(ctx, n, faults, options);
+    timing.embed_us = micros(embed_start.elapsed());
+    match embedded {
         Ok((ring, cached)) => {
             if ctx.verify_responses {
-                if let Some(reason) = audit_ring(n, &ring, faults) {
+                let verify_start = Instant::now();
+                let audit = audit_ring(n, &ring, faults);
+                timing.verify_us = micros(verify_start.elapsed());
+                if let Some(reason) = audit {
                     ctx.obs.verify_failed.incr(1);
                     star_obs::flightrec::record("serve.verify_failed", reason.clone(), &[]);
                     star_obs::flightrec::dump_on_failure("serve.verify_failed");
                     return error_response(id, ErrorCode::VerifyFailed, &reason);
                 }
             }
+            let encode_start = Instant::now();
             let mut members = embed_members(n, &ring, cached, return_ring);
+            timing.encode_us = micros(encode_start.elapsed());
             if return_certificate || ctx.verify_responses {
+                // Certificate construction is verification work (it
+                // re-walks the ring), not response encoding.
+                let cert_start = Instant::now();
                 let cert = star_verify::certificate::certificate_for(n, faults, &ring);
+                timing.verify_us += micros(cert_start.elapsed());
                 ctx.obs.certificates.incr(1);
                 members.push(("certificate".to_string(), Json::from(cert)));
             }
@@ -687,6 +794,7 @@ fn serve_embed(
 /// Batch path: cache lookups first, then one `embed_many` over the
 /// misses (so the batch still fans out through `star-pool`), then a
 /// per-item response array in input order.
+#[allow(clippy::too_many_arguments)]
 fn serve_batch(
     ctx: &Ctx,
     id: Option<&str>,
@@ -694,7 +802,9 @@ fn serve_batch(
     scenarios: &[Result<star_fault::FaultSet, String>],
     options: &EmbedOptions,
     return_ring: bool,
+    timing: &mut ServerTiming,
 ) -> Json {
+    let embed_start = Instant::now();
     enum Slot {
         Ready(Arc<[star_perm::Perm]>, bool),
         Pending(usize),
@@ -726,6 +836,9 @@ fn serve_batch(
             );
         }
     }
+    timing.embed_us = micros(embed_start.elapsed());
+    let encode_start = Instant::now();
+    let mut verify_ns = 0u128;
     let mut failed = 0u64;
     let mut verify_failed = 0u64;
     let item_error = |code: ErrorCode, message: &str| {
@@ -758,7 +871,10 @@ fn serve_batch(
             // Non-Bad slots always come from an Ok scenario, so the
             // if-let never skips a real audit.
             if let (true, Ok(faults)) = (ctx.verify_responses, scenario.as_ref()) {
-                if let Some(reason) = audit_ring(n, &ring, faults) {
+                let verify_start = Instant::now();
+                let audit = audit_ring(n, &ring, faults);
+                verify_ns += verify_start.elapsed().as_nanos();
+                if let Some(reason) = audit {
                     verify_failed += 1;
                     star_obs::flightrec::record("serve.verify_failed", reason.clone(), &[]);
                     star_obs::flightrec::dump_on_failure("serve.verify_failed");
@@ -776,6 +892,8 @@ fn serve_batch(
     if failed > 0 {
         ctx.obs.embed_failed.incr(failed);
     }
+    timing.verify_us = (verify_ns / 1_000).min(u64::MAX as u128) as u64;
+    timing.encode_us = micros(encode_start.elapsed()).saturating_sub(timing.verify_us);
     ok_response(
         id,
         "embed_batch",
@@ -791,12 +909,16 @@ fn serve_verify(
     n: usize,
     ring: &[star_perm::Perm],
     faults: &star_fault::FaultSet,
+    timing: &mut ServerTiming,
 ) -> Json {
     let mut members = vec![
         ("n".to_string(), Json::from(n)),
         ("ring_len".to_string(), Json::from(ring.len())),
     ];
-    match star_verify::check_ring(n, ring, faults) {
+    let verify_start = Instant::now();
+    let checked = star_verify::check_ring(n, ring, faults);
+    timing.verify_us = micros(verify_start.elapsed());
+    match checked {
         Ok(()) => members.push(("valid".to_string(), Json::Bool(true))),
         Err(e) => {
             members.push(("valid".to_string(), Json::Bool(false)));

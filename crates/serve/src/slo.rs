@@ -1,0 +1,434 @@
+//! SLO watchdog: a rolling error-budget monitor over the queued request
+//! path, with automatic flight-recorder dumps on breach.
+//!
+//! The server's latency objective is expressed as "at most `budget` of
+//! queued requests over the trailing `window` may be **bad**", where a
+//! request is bad when it missed its deadline or its end-to-end server
+//! latency exceeded `target`. The watchdog folds every outcome into a
+//! fixed number of rolling window buckets and computes the **burn
+//! rate** — the observed bad fraction divided by the budget — after
+//! each one. Burn rate `1.0` means the budget is being consumed exactly
+//! as provisioned; sustained values above it mean the objective will be
+//! violated.
+//!
+//! On a breach (burn rate > 1 across at least `min_samples` outcomes,
+//! outside the post-dump cooldown) the watchdog:
+//!
+//! 1. records one `slo.offender` flight-recorder event per recently-bad
+//!    *traced* request — name = the trace id, fields = its latency and
+//!    per-phase [`ServerTiming`] breakdown — so the dump self-identifies
+//!    which requests blew the budget;
+//! 2. records one `slo.breach` event with the burn rate and counts;
+//! 3. dumps the flight recorder to the configured path (the events
+//!    leading up to the breach are exactly what a post-mortem needs).
+//!
+//! The cooldown (default: one window) prevents a persistent overload
+//! from turning every subsequent request into a fresh dump.
+//!
+//! Everything is [`Instant`]-driven through the internal `observe_at`,
+//! so unit tests steer time explicitly; the server calls [`Watchdog::observe`].
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::proto::ServerTiming;
+
+/// How many rolling buckets the window is divided into; finer buckets
+/// make expiry smoother at a few bytes each.
+const WINDOW_BUCKETS: u32 = 10;
+
+/// How many recent bad traced requests are kept for the breach report.
+const OFFENDER_RING: usize = 16;
+
+/// Watchdog configuration (the CLI's `--slo-*` flags).
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Latency objective for one queued request (receipt to response).
+    pub target: Duration,
+    /// Fraction of requests allowed to be bad, `(0, 1]`.
+    pub budget: f64,
+    /// Rolling evaluation window.
+    pub window: Duration,
+    /// Minimum outcomes in the window before a breach can fire (keeps a
+    /// single slow request on a quiet server from dumping).
+    pub min_samples: u64,
+    /// Post-dump cooldown before another breach may fire.
+    pub cooldown: Duration,
+    /// Dump file for breach snapshots (`None` = the flight recorder's
+    /// configured dump path).
+    pub dump_path: Option<PathBuf>,
+}
+
+impl SloConfig {
+    /// The CLI defaults for a `target`-ms objective: 1% budget over a
+    /// 10-second window, 50-sample floor, cooldown = window.
+    pub fn with_target(target: Duration) -> SloConfig {
+        SloConfig {
+            target,
+            budget: 0.01,
+            window: Duration::from_secs(10),
+            min_samples: 50,
+            cooldown: Duration::from_secs(10),
+            dump_path: None,
+        }
+    }
+}
+
+/// One finished queued request, as the watchdog sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// The request's trace id, when the client sent one.
+    pub trace: Option<u128>,
+    /// End-to-end server latency (receipt to response write).
+    pub latency: Duration,
+    /// The request was answered `deadline_exceeded` (always bad).
+    pub deadline_miss: bool,
+    /// Per-phase breakdown (echoed into offender events).
+    pub timing: ServerTiming,
+}
+
+/// A bad traced request retained for the next breach report.
+#[derive(Debug, Clone, Copy)]
+pub struct Offender {
+    /// The request's trace id.
+    pub trace: u128,
+    /// Its end-to-end latency.
+    pub latency: Duration,
+    /// Whether it was a deadline miss (vs. merely slow).
+    pub deadline_miss: bool,
+    /// Its per-phase breakdown.
+    pub timing: ServerTiming,
+}
+
+/// What [`Watchdog::observe`] reports (and dumps) on a breach.
+#[derive(Debug, Clone)]
+pub struct Breach {
+    /// Observed bad fraction divided by the budget (> 1 by definition).
+    pub burn_rate: f64,
+    /// Bad outcomes in the window.
+    pub bad: u64,
+    /// Total outcomes in the window.
+    pub total: u64,
+    /// Recently-bad traced requests, oldest first.
+    pub offenders: Vec<Offender>,
+}
+
+struct Bucket {
+    start: Instant,
+    total: u64,
+    bad: u64,
+}
+
+struct State {
+    buckets: VecDeque<Bucket>,
+    offenders: VecDeque<Offender>,
+    last_breach: Option<Instant>,
+}
+
+/// The monitor itself: one per server, shared by all workers.
+pub struct Watchdog {
+    config: SloConfig,
+    state: Mutex<State>,
+    breaches: star_obs::Counter,
+}
+
+impl Watchdog {
+    /// A watchdog for `config` (budget is clamped to `(0, 1]`).
+    pub fn new(mut config: SloConfig) -> Watchdog {
+        if !(config.budget > 0.0 && config.budget <= 1.0) {
+            config.budget = 0.01;
+        }
+        Watchdog {
+            config,
+            state: Mutex::new(State {
+                buckets: VecDeque::new(),
+                offenders: VecDeque::new(),
+                last_breach: None,
+            }),
+            breaches: star_obs::counter("serve.slo.breach"),
+        }
+    }
+
+    /// The configured latency target.
+    pub fn target(&self) -> Duration {
+        self.config.target
+    }
+
+    /// Folds one outcome in; on breach, emits the flight-recorder events
+    /// and dump described in the module docs.
+    pub fn observe(&self, outcome: &Outcome) {
+        if let Some(breach) = self.observe_at(Instant::now(), outcome) {
+            self.report(&breach);
+        }
+    }
+
+    /// Pure state transition, time injected — the unit-testable core.
+    fn observe_at(&self, now: Instant, outcome: &Outcome) -> Option<Breach> {
+        let bad = outcome.deadline_miss || outcome.latency > self.config.target;
+        let span = self.config.window / WINDOW_BUCKETS;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state
+            .buckets
+            .front()
+            .is_some_and(|b| now.saturating_duration_since(b.start) > self.config.window)
+        {
+            state.buckets.pop_front();
+        }
+        if state
+            .buckets
+            .back()
+            .is_none_or(|b| now.saturating_duration_since(b.start) >= span)
+        {
+            state.buckets.push_back(Bucket {
+                start: now,
+                total: 0,
+                bad: 0,
+            });
+        }
+        let current = state.buckets.back_mut().expect("bucket just ensured");
+        current.total += 1;
+        current.bad += bad as u64;
+        if bad {
+            if let Some(trace) = outcome.trace {
+                if state.offenders.len() == OFFENDER_RING {
+                    state.offenders.pop_front();
+                }
+                state.offenders.push_back(Offender {
+                    trace,
+                    latency: outcome.latency,
+                    deadline_miss: outcome.deadline_miss,
+                    timing: outcome.timing,
+                });
+            }
+        }
+
+        let (total, bad_total) = state.buckets.iter().fold((0u64, 0u64), |(t, b), bucket| {
+            (t + bucket.total, b + bucket.bad)
+        });
+        if total < self.config.min_samples {
+            return None;
+        }
+        let burn_rate = (bad_total as f64 / total as f64) / self.config.budget;
+        // Strictly greater: burning at exactly the provisioned rate is
+        // on-plan, not a breach (and keeps a single bad request at the
+        // min-samples floor from dumping).
+        if burn_rate <= 1.0 {
+            return None;
+        }
+        if state
+            .last_breach
+            .is_some_and(|at| now.saturating_duration_since(at) < self.config.cooldown)
+        {
+            return None;
+        }
+        state.last_breach = Some(now);
+        Some(Breach {
+            burn_rate,
+            bad: bad_total,
+            total,
+            offenders: state.offenders.drain(..).collect(),
+        })
+    }
+
+    /// Side-effect half of a breach: counter, flight-recorder events,
+    /// dump, one stderr line. Never panics.
+    fn report(&self, breach: &Breach) {
+        self.breaches.incr(1);
+        for o in &breach.offenders {
+            star_obs::flightrec::record(
+                "slo.offender",
+                star_obs::format_trace(o.trace),
+                &[
+                    (
+                        "latency_us",
+                        star_obs::FieldValue::U64(o.latency.as_micros() as u64),
+                    ),
+                    (
+                        "deadline_miss",
+                        star_obs::FieldValue::U64(o.deadline_miss as u64),
+                    ),
+                    ("queue_us", star_obs::FieldValue::U64(o.timing.queue_us)),
+                    ("embed_us", star_obs::FieldValue::U64(o.timing.embed_us)),
+                    ("verify_us", star_obs::FieldValue::U64(o.timing.verify_us)),
+                    ("encode_us", star_obs::FieldValue::U64(o.timing.encode_us)),
+                ],
+            );
+        }
+        star_obs::flightrec::record(
+            "slo.breach",
+            format!("burn_rate {:.2}", breach.burn_rate),
+            &[
+                ("bad", star_obs::FieldValue::U64(breach.bad)),
+                ("total", star_obs::FieldValue::U64(breach.total)),
+                (
+                    "target_us",
+                    star_obs::FieldValue::U64(self.config.target.as_micros() as u64),
+                ),
+                (
+                    "window_ms",
+                    star_obs::FieldValue::U64(self.config.window.as_millis() as u64),
+                ),
+            ],
+        );
+        let path = self
+            .config
+            .dump_path
+            .clone()
+            .unwrap_or_else(star_obs::flightrec::dump_path);
+        match star_obs::flightrec::dump_to(&path, "slo.breach") {
+            Ok(n) => eprintln!(
+                "star-serve: SLO breach — burn rate {:.2} ({}/{} bad over the window), \
+                 {n} flight-recorder events dumped to {}",
+                breach.burn_rate,
+                breach.bad,
+                breach.total,
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "star-serve: SLO breach — burn rate {:.2}, but dump to {} failed: {e}",
+                breach.burn_rate,
+                path.display()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Outcome {
+        Outcome {
+            trace: None,
+            latency: Duration::from_micros(100),
+            deadline_miss: false,
+            timing: ServerTiming::default(),
+        }
+    }
+
+    fn slow(trace: u128) -> Outcome {
+        Outcome {
+            trace: Some(trace),
+            latency: Duration::from_millis(50),
+            deadline_miss: false,
+            timing: ServerTiming {
+                queue_us: 40_000,
+                embed_us: 10_000,
+                verify_us: 0,
+                encode_us: 5,
+            },
+        }
+    }
+
+    fn config() -> SloConfig {
+        SloConfig {
+            target: Duration::from_millis(1),
+            budget: 0.1,
+            window: Duration::from_secs(1),
+            min_samples: 10,
+            cooldown: Duration::from_secs(1),
+            dump_path: None,
+        }
+    }
+
+    #[test]
+    fn breach_fires_with_offender_traces_once_budget_burns() {
+        let dog = Watchdog::new(config());
+        let t0 = Instant::now();
+        let mut breach = None;
+        for i in 0..10u64 {
+            let b = dog.observe_at(t0 + Duration::from_millis(i), &slow(0xa0 + i as u128));
+            if b.is_some() {
+                breach = b;
+            }
+        }
+        let breach = breach.expect("10/10 bad at 10% budget must breach");
+        assert!(breach.burn_rate >= 1.0);
+        assert_eq!(breach.total, 10);
+        assert_eq!(breach.bad, 10);
+        let traces: Vec<u128> = breach.offenders.iter().map(|o| o.trace).collect();
+        assert!(traces.contains(&0xa0));
+        assert_eq!(breach.offenders[0].timing.queue_us, 40_000);
+    }
+
+    #[test]
+    fn under_budget_never_breaches() {
+        let dog = Watchdog::new(config());
+        let t0 = Instant::now();
+        for i in 0..100u64 {
+            let outcome = if i == 7 { slow(0xbb) } else { fast() };
+            assert!(
+                dog.observe_at(t0 + Duration::from_millis(i), &outcome)
+                    .is_none(),
+                "1/100 bad at 10% budget breached at i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_misses_are_bad_even_when_fast() {
+        let dog = Watchdog::new(config());
+        let t0 = Instant::now();
+        let miss = Outcome {
+            deadline_miss: true,
+            ..fast()
+        };
+        let fired = (0..10u64).any(|i| {
+            dog.observe_at(t0 + Duration::from_millis(i), &miss)
+                .is_some()
+        });
+        assert!(fired);
+    }
+
+    #[test]
+    fn cooldown_suppresses_repeat_dumps_then_rearms() {
+        let dog = Watchdog::new(config());
+        let t0 = Instant::now();
+        let mut breaches = 0;
+        for i in 0..30u64 {
+            if dog
+                .observe_at(t0 + Duration::from_millis(i), &slow(1))
+                .is_some()
+            {
+                breaches += 1;
+            }
+        }
+        assert_eq!(breaches, 1, "cooldown must absorb the follow-on burn");
+        // Past the cooldown the watchdog re-arms.
+        let later = t0 + Duration::from_millis(30) + Duration::from_secs(2);
+        let mut rearmed = 0;
+        for i in 0..30u64 {
+            if dog
+                .observe_at(later + Duration::from_millis(i), &slow(2))
+                .is_some()
+            {
+                rearmed += 1;
+            }
+        }
+        assert_eq!(rearmed, 1);
+    }
+
+    #[test]
+    fn old_badness_expires_with_the_window() {
+        let dog = Watchdog::new(config());
+        let t0 = Instant::now();
+        // Nine bad outcomes — one short of min_samples, no breach yet.
+        for i in 0..9u64 {
+            assert!(dog
+                .observe_at(t0 + Duration::from_millis(i), &slow(3))
+                .is_none());
+        }
+        // Two windows later the bad buckets have aged out: fresh fast
+        // traffic must not inherit them.
+        let later = t0 + Duration::from_secs(3);
+        for i in 0..50u64 {
+            assert!(
+                dog.observe_at(later + Duration::from_millis(i), &fast())
+                    .is_none(),
+                "expired badness breached at i={i}"
+            );
+        }
+    }
+}

@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
+        Some("obs-overhead") => cmd_obs_overhead(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             Ok(())
@@ -121,17 +122,34 @@ fn usage() {
          \x20     --flightrec         record accept/reject/deadline events; flushed\n\
          \x20                         to disk on graceful shutdown (SIGINT drains)\n\
          \x20     --flightrec-out <f> dump file for --flightrec (implies it)\n\
-         \x20 star-rings loadgen [OPTIONS]                closed-loop load generator\n\
+         \x20     --slo-ms <t>        SLO watchdog: latency target per queued\n\
+         \x20                         request; on sustained budget burn the server\n\
+         \x20                         dumps the flight recorder with the offending\n\
+         \x20                         trace_ids (implies --flightrec)\n\
+         \x20     --slo-budget <b>    fraction of requests allowed over target\n\
+         \x20                         over a 10s window (default 0.01)\n\
+         \x20     --slo-dump <f>      dump file for SLO breaches (default: the\n\
+         \x20                         flight recorder's dump path)\n\
+         \x20 star-rings loadgen [OPTIONS]                load generator\n\
          \x20     --addr <host:port>  server to drive (default 127.0.0.1:7411)\n\
          \x20     --conns <c>         concurrent connections (default 4)\n\
          \x20     --rps <r>           target offered rate, all connections combined\n\
-         \x20                         (default 0 = unthrottled)\n\
+         \x20                         (default 0 = unthrottled; required for the\n\
+         \x20                         open-loop arrival modes)\n\
          \x20     --duration <secs>   run length (default 5)\n\
          \x20     --mix <m>           embed | cached | mixed (default mixed)\n\
+         \x20     --arrivals <a>      closed | poisson | burst (default closed).\n\
+         \x20                         closed measures service time and understates\n\
+         \x20                         tails under queueing (coordinated omission);\n\
+         \x20                         poisson/burst send on a fixed schedule and\n\
+         \x20                         measure from the scheduled send time\n\
          \x20     --seed <s>          RNG seed (default 0x5eed)\n\
          \x20     --out <f>           write the BENCH_*.json summary to <f>\n\
          \x20                         (default: stdout); exits nonzero on any\n\
          \x20                         protocol error\n\
+         \x20     --trace-out <f>     write one JSONL line per request (trace_id,\n\
+         \x20                         scheduled send, latency, outcome, per-phase\n\
+         \x20                         server timing) to <f>\n\
          \x20     --verify            request a STARRING-CERT with every embed\n\
          \x20                         and re-verify it client-side; exits\n\
          \x20                         nonzero on any certificate failure\n\
@@ -150,6 +168,16 @@ fn usage() {
          \x20     --fuzz <k>          hostile protocol frames against an\n\
          \x20                         in-process server (default 96; 0 disables)\n\
          \x20     --out <f>           write a BENCH_*.json timing summary to <f>\n\
+         \x20 star-rings obs-overhead [OPTIONS]           measure the cost of tracing:\n\
+         \x20                                             interleaved embeds with and\n\
+         \x20                                             without flight recorder +\n\
+         \x20                                             trace id; exits nonzero if\n\
+         \x20                                             the median overhead exceeds\n\
+         \x20                                             the bound\n\
+         \x20     --n <n>             dimension to embed (default 8)\n\
+         \x20     --samples <k>       sample pairs (default 15)\n\
+         \x20     --max-pct <p>       failure bound on median overhead in percent\n\
+         \x20                         (default 5)\n\
          \n\
          Permutations are written as digit strings for n <= 9 (e.g. 321456)\n\
          and dot-separated otherwise (e.g. 10.2.3.1...)."
@@ -648,6 +676,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = star_rings::serve::ServeConfig::default();
     let mut flightrec = false;
     let mut flightrec_out: Option<String> = None;
+    let mut slo_ms: Option<u64> = None;
+    let mut slo_budget: Option<f64> = None;
+    let mut slo_dump: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -700,9 +731,55 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                         .clone(),
                 );
             }
+            "--slo-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .ok_or("--slo-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--slo-ms must be an integer")?;
+                if ms == 0 {
+                    return Err("--slo-ms must be at least 1".to_string());
+                }
+                slo_ms = Some(ms);
+            }
+            "--slo-budget" => {
+                i += 1;
+                let b: f64 = args
+                    .get(i)
+                    .ok_or("--slo-budget needs a fraction")?
+                    .parse()
+                    .map_err(|_| "--slo-budget must be a number")?;
+                if !(b > 0.0 && b <= 1.0) {
+                    return Err("--slo-budget must be in (0, 1]".to_string());
+                }
+                slo_budget = Some(b);
+            }
+            "--slo-dump" => {
+                i += 1;
+                slo_dump = Some(args.get(i).ok_or("--slo-dump needs a file path")?.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
+    }
+    match slo_ms {
+        Some(ms) => {
+            let mut slo =
+                star_rings::serve::SloConfig::with_target(std::time::Duration::from_millis(ms));
+            if let Some(b) = slo_budget {
+                slo.budget = b;
+            }
+            slo.dump_path = slo_dump.map(std::path::PathBuf::from);
+            config.slo = Some(slo);
+            // A breach snapshot is only useful if events are being
+            // recorded — the watchdog implies the flight recorder.
+            flightrec = true;
+        }
+        None if slo_budget.is_some() || slo_dump.is_some() => {
+            return Err("--slo-budget/--slo-dump require --slo-ms".to_string());
+        }
+        None => {}
     }
     if flightrec {
         if let Some(path) = &flightrec_out {
@@ -761,6 +838,18 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
                 config.mix =
                     star_rings::serve::Mix::parse(args.get(i).ok_or("--mix needs a value")?)?;
             }
+            "--arrivals" => {
+                i += 1;
+                config.arrivals = star_rings::serve::Arrivals::parse(
+                    args.get(i).ok_or("--arrivals needs a value")?,
+                )?;
+            }
+            "--trace-out" => {
+                i += 1;
+                config.trace_out = Some(std::path::PathBuf::from(
+                    args.get(i).ok_or("--trace-out needs a file path")?,
+                ));
+            }
             "--seed" => {
                 i += 1;
                 config.seed = args
@@ -798,6 +887,114 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "{} certificate failures during the run",
             report.cert_failures
+        ));
+    }
+    Ok(())
+}
+
+/// `obs-overhead [--n <n>] [--samples <k>] [--max-pct <p>]`: the tracing
+/// cost gate. Embeds the same faulted scenario repeatedly, alternating
+/// between observability off (flight recorder disabled, no trace id) and
+/// on (flight recorder enabled, a trace id installed, one event recorded
+/// per embed — the serving path's per-request instrumentation), and
+/// compares the two medians. Interleaving cancels thermal/frequency
+/// drift; the median shrugs off scheduler outliers. Exits nonzero when
+/// the median overhead exceeds `--max-pct`.
+fn cmd_obs_overhead(args: &[String]) -> Result<(), String> {
+    let mut n = 8usize;
+    let mut samples = 15usize;
+    let mut max_pct = 5.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = args
+                    .get(i)
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|_| "--n must be an integer")?;
+                if !(4..=10).contains(&n) {
+                    return Err("--n must be in 4..=10".to_string());
+                }
+            }
+            "--samples" => {
+                i += 1;
+                samples = args
+                    .get(i)
+                    .ok_or("--samples needs a count")?
+                    .parse()
+                    .map_err(|_| "--samples must be an integer")?;
+                if samples == 0 {
+                    return Err("--samples must be at least 1".to_string());
+                }
+            }
+            "--max-pct" => {
+                i += 1;
+                max_pct = args
+                    .get(i)
+                    .ok_or("--max-pct needs a percentage")?
+                    .parse()
+                    .map_err(|_| "--max-pct must be a number")?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    let faults =
+        gen::random_vertex_faults(n, n.saturating_sub(3), 0xB0B).map_err(|e| e.to_string())?;
+    let embed_once = |faults: &FaultSet| -> Result<std::time::Duration, String> {
+        let t0 = std::time::Instant::now();
+        let ring = embed_longest_ring(n, faults).map_err(|e| e.to_string())?;
+        let dt = t0.elapsed();
+        std::hint::black_box(ring.len());
+        Ok(dt)
+    };
+    // Warm the oracle cache and code paths so neither arm pays the
+    // first-run cost.
+    embed_once(&faults)?;
+    embed_once(&faults)?;
+    let mut plain_ns: Vec<u64> = Vec::with_capacity(samples);
+    let mut traced_ns: Vec<u64> = Vec::with_capacity(samples);
+    for s in 0..samples {
+        star_rings::obs::flightrec::disable();
+        plain_ns.push(embed_once(&faults)?.as_nanos() as u64);
+        star_rings::obs::flightrec::enable();
+        let dt = {
+            let _guard = star_rings::obs::with_trace(0x0b5_0000 + s as u128);
+            let dt = embed_once(&faults)?;
+            star_rings::obs::flightrec::record(
+                "overhead.probe",
+                format!("sample {s}"),
+                &[("n", star_rings::obs::FieldValue::U64(n as u64))],
+            );
+            dt
+        };
+        traced_ns.push(dt.as_nanos() as u64);
+    }
+    star_rings::obs::flightrec::disable();
+    let median = |v: &mut Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let plain = median(&mut plain_ns);
+    let traced = median(&mut traced_ns);
+    let overhead_pct = if plain == 0 {
+        0.0
+    } else {
+        (traced as f64 - plain as f64) / plain as f64 * 100.0
+    };
+    println!(
+        "obs-overhead: n={n}, {samples} interleaved sample pairs\n\
+         obs-overhead:   untraced median {:.3} ms\n\
+         obs-overhead:   traced median   {:.3} ms (flight recorder + trace id)\n\
+         obs-overhead:   median overhead {overhead_pct:+.2}% (bound {max_pct}%)",
+        plain as f64 / 1e6,
+        traced as f64 / 1e6,
+    );
+    if overhead_pct > max_pct {
+        return Err(format!(
+            "tracing overhead {overhead_pct:.2}% exceeds the {max_pct}% bound"
         ));
     }
     Ok(())

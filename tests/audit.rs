@@ -224,6 +224,8 @@ fn loadgen_verify_round_trip() {
         mix: star_rings::serve::Mix::Embed,
         seed: 7,
         verify: true,
+        arrivals: star_rings::serve::Arrivals::Closed,
+        trace_out: None,
     };
     let report = star_rings::serve::loadgen::run(&config).expect("loadgen runs");
     assert!(report.ok > 0, "no successful responses");

@@ -174,6 +174,7 @@ fn help_snapshot_lists_every_subcommand_with_its_flags() {
             "dot",
             "serve",
             "loadgen",
+            "obs-overhead",
         ] {
             assert!(
                 text.contains(&format!("star-rings {cmd}")),
@@ -190,10 +191,22 @@ fn help_snapshot_lists_every_subcommand_with_its_flags() {
             "--rps",
             "--duration",
             "--mix",
+            "--arrivals",
+            "--trace-out",
+            "--slo-ms",
+            "--slo-budget",
+            "--slo-dump",
+            "--max-pct",
         ] {
             assert!(text.contains(flag), "--help must document `{flag}`");
         }
         assert!(text.contains("overloaded"), "backpressure is documented");
+        // The closed-loop measurement bias is called out where the mode
+        // is chosen.
+        assert!(
+            text.contains("coordinated omission"),
+            "--help must explain the closed-loop caveat"
+        );
     }
 }
 
@@ -217,6 +230,15 @@ fn every_subcommand_exits_one_on_bad_arguments() {
         &["loadgen", "--mix", "chaotic"][..],
         &["loadgen", "--duration", "forever"][..],
         &["loadgen", "--rps"][..],
+        &["loadgen", "--arrivals", "uniform"][..],
+        &["serve", "--slo-ms", "0"][..],
+        &["serve", "--slo-budget", "2", "--slo-ms", "5"][..],
+        &["serve", "--slo-budget", "0.5"][..],
+        &["obs-overhead", "--n", "99"][..],
+        &["obs-overhead", "--samples", "0"][..],
+        // Open-loop arrivals have no self-limiting feedback: an offered
+        // rate is mandatory, and the run refuses to start without one.
+        &["loadgen", "--arrivals", "poisson"][..],
     ] {
         let out = run(bad);
         assert_eq!(out.status.code(), Some(1), "{bad:?} must exit 1");
@@ -246,6 +268,27 @@ fn loadgen_exits_nonzero_when_the_server_is_unreachable() {
     ]);
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("protocol errors"), "{}", stderr(&out));
+}
+
+#[test]
+fn obs_overhead_reports_interleaved_medians() {
+    // A generous bound: this test checks the report plumbing, not the
+    // machine's performance (the CI gate runs with the real bound).
+    let out = run(&[
+        "obs-overhead",
+        "--n",
+        "6",
+        "--samples",
+        "3",
+        "--max-pct",
+        "1000",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("untraced median"), "{text}");
+    assert!(text.contains("traced median"), "{text}");
+    assert!(text.contains("median overhead"), "{text}");
+    assert!(text.contains("bound 1000%"), "{text}");
 }
 
 #[test]

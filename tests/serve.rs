@@ -292,3 +292,71 @@ fn sigint_drains_flushes_flight_recorder_and_exits_zero() {
     assert!(text.contains("\"kind\":\"serve.accept\""), "{text}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Satellite regression: inline health/stats answers must never land in
+/// the embed latency histogram (they would drag its percentiles toward
+/// zero) — they get their own `serve.latency.inline` histogram and
+/// `serve.inline.*` counters. In-process server so the test can read the
+/// shared metrics registry directly.
+#[test]
+fn inline_health_and_stats_stay_out_of_the_embed_latency_histogram() {
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+    let config = star_rings::serve::ServeConfig {
+        addr: addr.clone(),
+        ..Default::default()
+    };
+    let server = {
+        let config = config.clone();
+        std::thread::spawn(move || star_rings::serve::run(config))
+    };
+    let boot_deadline = Instant::now() + Duration::from_secs(10);
+    while std::net::TcpStream::connect(&addr).is_err() {
+        assert!(Instant::now() < boot_deadline, "server did not come up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let hist_count = |snap: &star_rings::obs::Snapshot, name: &str| {
+        snap.histogram(name).map(|h| h.count).unwrap_or(0)
+    };
+    let before = star_rings::obs::snapshot();
+    let embed_before = hist_count(&before, "serve.latency.embed");
+    let inline_before = hist_count(&before, "serve.latency.inline");
+
+    let mut client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+    for k in 0..5 {
+        let r = client
+            .call(&plain_request(&format!("h{k}"), "health"))
+            .unwrap();
+        assert!(is_ok(&r), "{r}");
+    }
+    for k in 0..3 {
+        let r = client
+            .call(&plain_request(&format!("s{k}"), "stats"))
+            .unwrap();
+        assert!(is_ok(&r), "{r}");
+        // The stats response itself reports the inline split.
+        let inline = r.get("inline").expect("stats carries inline counts");
+        assert!(inline.get("health").and_then(Json::as_u64).unwrap() >= 5);
+    }
+    let r = client.call(&embed_request("e0", 5, &[], None)).unwrap();
+    assert!(is_ok(&r), "{r}");
+
+    star_rings::serve::request_shutdown();
+    server.join().unwrap().unwrap();
+
+    let after = star_rings::obs::snapshot();
+    assert_eq!(
+        hist_count(&after, "serve.latency.embed"),
+        embed_before + 1,
+        "exactly the one embed may hit the embed histogram"
+    );
+    assert!(
+        hist_count(&after, "serve.latency.inline") >= inline_before + 8,
+        "5 health + 3 stats must all land in the inline histogram"
+    );
+    assert!(after.counter("serve.inline.health").unwrap_or(0) >= 5);
+    assert!(after.counter("serve.inline.stats").unwrap_or(0) >= 3);
+}
