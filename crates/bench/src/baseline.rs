@@ -2,8 +2,9 @@
 //! regression comparator behind `bench-diff`.
 //!
 //! [`run_matrix`] executes the E11-style embed matrix — full-budget
-//! worst-case faults, serial (`threads = 1`) and parallel (`threads =
-//! auto`) for `n = 7..=9` against a warmed oracle — and distils each cell
+//! worst-case faults, serial (`threads = 1`) and parallel (`threads =`
+//! [`parallel_threads`], pinned ≥ 2 so the pool genuinely engages) for
+//! `n = 7..=9` against a warmed oracle — and distils each cell
 //! into a [`BaselineCase`]: median and p95 wall time over the samples,
 //! plus the oracle hit rate and pool items-per-worker fan-out read from
 //! the `star-obs` counter deltas of that cell. [`Baseline`] serializes
@@ -47,6 +48,12 @@ pub struct BaselineCase {
     /// `pool.items / pool.workers` over the cell's runs (0.0 when the
     /// cell never fanned out).
     pub pool_items_per_worker: f64,
+    /// Achieved per-connection request rate (req/s) — populated by the
+    /// `star-serve` load-generator export, 0.0 for embed cells. Absent in
+    /// older files (parsed as 0.0); earlier exports smuggled this value
+    /// through `pool_items_per_worker`, which now always means what its
+    /// name says.
+    pub per_conn_rate: f64,
 }
 
 /// A full baseline: schema tag, creation stamp, and the matrix.
@@ -73,7 +80,7 @@ impl Baseline {
                 out,
                 "    {{\"name\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"samples\": {}, \
                  \"median_ns\": {}, \"p95_ns\": {}, \"oracle_hit_rate\": {:.6}, \
-                 \"pool_items_per_worker\": {:.3}}}",
+                 \"pool_items_per_worker\": {:.3}, \"per_conn_rate\": {:.3}}}",
                 c.name,
                 c.n,
                 c.mode,
@@ -81,7 +88,8 @@ impl Baseline {
                 c.median_ns,
                 c.p95_ns,
                 c.oracle_hit_rate,
-                c.pool_items_per_worker
+                c.pool_items_per_worker,
+                c.per_conn_rate
             );
             let _ = writeln!(out, "{}", if i + 1 < self.cases.len() { "," } else { "" });
         }
@@ -140,6 +148,9 @@ impl Baseline {
                 pool_items_per_worker: field("pool_items_per_worker")?
                     .as_f64()
                     .ok_or(format!("case {i}: bad pool_items_per_worker"))?,
+                // Added after v1 files were already committed: default
+                // rather than reject, so older baselines stay diffable.
+                per_conn_rate: c.get("per_conn_rate").and_then(Json::as_f64).unwrap_or(0.0),
             });
         }
         Ok(Baseline { created_ms, cases })
@@ -222,8 +233,10 @@ fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
 }
 
 /// Runs one matrix cell: `samples` no-verify embeds of the full-budget
-/// worst case at `n` under the current pool configuration.
-fn run_case(name: &str, n: usize, mode: &str, samples: usize) -> BaselineCase {
+/// worst case at `n` under the current pool configuration. Public so the
+/// `speedup-gate` binary can time individual cells outside the full
+/// matrix; callers own the `star_pool::set_threads` state around it.
+pub fn run_case(name: &str, n: usize, mode: &str, samples: usize) -> BaselineCase {
     let faults = gen::worst_case_same_partite(n, n - 3, Parity::Even, 42).unwrap();
     let snap0 = star_obs::snapshot();
     let mut wall_ns: Vec<u64> = (0..samples)
@@ -258,17 +271,33 @@ fn run_case(name: &str, n: usize, mode: &str, samples: usize) -> BaselineCase {
         } else {
             items as f64 / workers as f64
         },
+        per_conn_rate: 0.0,
     }
 }
 
-/// Runs the full E11-style matrix (serial and parallel embeds for `n =
-/// 7..=9`, `samples` runs each, warmed oracle) and stamps the result with
-/// the wall clock. Restores the pool's auto thread policy on exit.
+/// Thread count for the matrix's `parallel` cells: the host's parallelism,
+/// but always at least 2. `set_threads(0)` (the old choice) asks for the
+/// *auto* policy, which on a small host resolves to a single worker — the
+/// pool never engages and the cell silently re-measures the serial path
+/// (the counters prove it: items/worker stays 0.0). Pinning ≥ 2 makes
+/// `parallel` mean what it says on every host; whether that *helps* is
+/// exactly what the cell exists to measure.
+pub fn parallel_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .clamp(2, star_pool::MAX_AUTO_WORKERS)
+}
+
+/// Runs the full E11-style matrix (serial and [`parallel_threads`]-way
+/// embeds for `n = 7..=9`, `samples` runs each, warmed oracle) and stamps
+/// the result with the wall clock. Restores the pool's auto thread policy
+/// on exit.
 pub fn run_matrix(samples: usize) -> Baseline {
     oracle::warm();
     let mut cases = Vec::new();
     for n in 7..=9 {
-        for (mode, threads) in [("serial", 1usize), ("parallel", 0)] {
+        for (mode, threads) in [("serial", 1usize), ("parallel", parallel_threads())] {
             star_pool::set_threads(threads);
             let name = format!("embed/n{n}/{mode}");
             eprintln!("baseline: running {name} ({samples} samples)...");
@@ -314,6 +343,7 @@ mod tests {
             p95_ns: median_ns + median_ns / 10,
             oracle_hit_rate: 0.9875,
             pool_items_per_worker: 128.5,
+            per_conn_rate: 0.0,
         }
     }
 
@@ -328,6 +358,42 @@ mod tests {
         };
         let parsed = Baseline::from_json(&base.to_json()).unwrap();
         assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn parses_v1_files_without_per_conn_rate() {
+        // Committed baselines predate the field; they must stay readable
+        // with the rate defaulting to zero.
+        let text = "{\"schema\":\"star-bench/baseline/v1\",\"created_ms\":7,\"cases\":[\
+                    {\"name\":\"embed/n9/serial\",\"n\":9,\"mode\":\"serial\",\"samples\":5,\
+                    \"median_ns\":1,\"p95_ns\":2,\"oracle_hit_rate\":1.0,\
+                    \"pool_items_per_worker\":0.0}]}";
+        let parsed = Baseline::from_json(text).unwrap();
+        assert_eq!(parsed.cases[0].per_conn_rate, 0.0);
+    }
+
+    #[test]
+    fn parallel_cell_reports_nonzero_items_per_worker() {
+        // Regression for the silent-serial bug: a `parallel` cell must
+        // actually drive work through the pool, which shows up as a
+        // positive achieved items-per-worker figure. n = 6 keeps the
+        // debug-build embed cheap; the explicit override engages the pool
+        // regardless of host core count.
+        star_pool::set_threads(2);
+        let cell = run_case("embed/n6/parallel", 6, "parallel", 1);
+        star_pool::set_threads(0);
+        assert!(
+            cell.pool_items_per_worker > 0.0,
+            "parallel cell never fanned out: items/worker = {}",
+            cell.pool_items_per_worker
+        );
+        assert_eq!(cell.per_conn_rate, 0.0, "embed cells carry no request rate");
+    }
+
+    #[test]
+    fn parallel_threads_is_at_least_two() {
+        let t = parallel_threads();
+        assert!((2..=star_pool::MAX_AUTO_WORKERS).contains(&t));
     }
 
     #[test]

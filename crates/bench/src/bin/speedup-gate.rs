@@ -1,0 +1,106 @@
+//! `speedup-gate` — nightly guard that parallel expansion actually pays.
+//!
+//! ```text
+//! speedup-gate [--n N] [--samples K] [--min-ratio R]
+//! ```
+//!
+//! Times the `n = 9` (by default) full-budget worst-case embed serial
+//! (`threads = 1`) and parallel ([`star_bench::baseline::parallel_threads`]
+//! workers), then demands `serial_median / parallel_median >= R`
+//! (default **1.2×**) *and* a positive achieved items-per-worker figure
+//! for the parallel cell — so the gate also fails if the pool silently
+//! stops engaging, which is exactly the regression that motivated it
+//! (the old `parallel` baseline cells resolved to one worker and
+//! re-measured the serial path with noise on top).
+//!
+//! On hosts with fewer than two CPUs a speedup is physically impossible;
+//! the gate prints a notice and exits 0 so local single-core runs and
+//! constrained containers do not produce a meaningless failure.
+
+use std::process::ExitCode;
+
+use star_bench::baseline::{parallel_threads, run_case};
+use star_ring::oracle;
+
+fn main() -> ExitCode {
+    let mut n = 9usize;
+    let mut samples = 9usize;
+    let mut min_ratio = 1.2f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(k) if (7..=10).contains(&k) => k,
+                    _ => return fail("--n needs an integer in 7..=10"),
+                };
+            }
+            "--samples" => {
+                i += 1;
+                samples = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(k) if k >= 1 => k,
+                    _ => return fail("--samples needs a positive integer"),
+                };
+            }
+            "--min-ratio" => {
+                i += 1;
+                min_ratio = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(r) if r > 0.0 => r,
+                    _ => return fail("--min-ratio needs a positive number"),
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: speedup-gate [--n N] [--samples K] [--min-ratio R]");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    if cores < 2 {
+        println!(
+            "speedup-gate: SKIPPED — host has {cores} CPU(s); a parallel speedup \
+             is not measurable here (gate enforced on multi-core CI)"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    oracle::warm();
+    star_pool::set_threads(1);
+    let serial = run_case(&format!("embed/n{n}/serial"), n, "serial", samples);
+    let threads = parallel_threads();
+    star_pool::set_threads(threads);
+    let parallel = run_case(&format!("embed/n{n}/parallel"), n, "parallel", samples);
+    star_pool::set_threads(0);
+
+    let ratio = serial.median_ns as f64 / parallel.median_ns.max(1) as f64;
+    println!(
+        "speedup-gate: n={n} serial {} ns, parallel {} ns ({threads} workers) \
+         -> {ratio:.2}x (need >= {min_ratio:.2}x), items/worker {:.1}",
+        serial.median_ns, parallel.median_ns, parallel.pool_items_per_worker
+    );
+    if parallel.pool_items_per_worker <= 0.0 {
+        eprintln!("speedup-gate: FAIL — parallel cell never engaged the pool");
+        return ExitCode::FAILURE;
+    }
+    if ratio + 1e-9 < min_ratio {
+        eprintln!(
+            "speedup-gate: FAIL — parallel embed is only {ratio:.2}x the serial \
+             median (threshold {min_ratio:.2}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("speedup-gate: OK");
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

@@ -2,6 +2,7 @@
 
 use star_fault::FaultSet;
 use star_perm::factorial;
+use star_perm::packed::PackedPerm;
 
 use crate::{expand, hierarchy, positions, small_n, EmbedError, EmbeddedRing};
 
@@ -148,21 +149,48 @@ pub fn embed_with_options(
 /// Internal verification: simple + healthy + cyclically adjacent. (The
 /// standalone `star-verify` crate provides the same check for external
 /// artifacts; this copy keeps the core crate dependency-light.)
+///
+/// The hot loop runs on nibble-packed `u64` words: each vertex is packed
+/// once, adjacency is a packed XOR test, and fault membership is a linear
+/// compare against the (≤ n-3 word) packed fault list — avoiding both the
+/// per-vertex `O(n²)` Lehmer rank the hash-set fault lookup paid and the
+/// byte-array adjacency walk. Distinctness keeps the rank-indexed bitmap
+/// (rank is computed once per vertex, for that purpose only).
 pub(crate) fn verify_ring(ring: &EmbeddedRing, faults: &FaultSet) -> Result<(), EmbedError> {
     let vs = ring.vertices();
     let len = vs.len();
-    let mut seen = vec![false; factorial(ring.n()) as usize];
+    if len == 0 {
+        return Ok(());
+    }
+    let n = ring.n();
+    let fault_bits: Vec<u64> = faults
+        .vertices()
+        .iter()
+        .map(|f| PackedPerm::from(*f).bits())
+        .collect();
+    let check_edges = faults.edge_fault_count() > 0;
+    let mut seen = vec![false; factorial(n) as usize];
+    let first = PackedPerm::from(vs[0]);
+    let mut cur = first;
     for (i, v) in vs.iter().enumerate() {
-        if v.n() != ring.n()
-            || faults.is_vertex_faulty(v)
+        if v.n() != n
+            || fault_bits.contains(&cur.bits())
             || std::mem::replace(&mut seen[v.rank() as usize], true)
         {
             return Err(EmbedError::ExpansionFailed { block: i });
         }
-        let next = &vs[(i + 1) % len];
-        if !v.is_adjacent(next) || faults.is_edge_faulty(v, next) {
+        let next = if i + 1 == len {
+            first
+        } else {
+            PackedPerm::from(vs[i + 1])
+        };
+        if !cur.is_adjacent(&next) {
             return Err(EmbedError::ExpansionFailed { block: i });
         }
+        if check_edges && faults.is_edge_faulty(v, &vs[(i + 1) % len]) {
+            return Err(EmbedError::ExpansionFailed { block: i });
+        }
+        cur = next;
     }
     Ok(())
 }

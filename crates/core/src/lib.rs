@@ -40,6 +40,7 @@ mod batch;
 mod embedding;
 mod error;
 
+pub mod blockctx;
 pub mod expand;
 pub mod hierarchy;
 pub mod invariants;

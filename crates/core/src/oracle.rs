@@ -287,6 +287,17 @@ fn state() -> &'static OracleTable {
     STATE.get_or_init(OracleTable::new)
 }
 
+/// Raw canonical-table read on the global oracle: the Lemma-4 path from
+/// local rank `entry` to `exit` avoiding `fault`, as **local `S_4`
+/// ranks**. This is the flat-arena expansion's hot entry point — callers
+/// that hold a [`crate::blockctx::BlockCtx`] lift the ranks themselves
+/// and skip the per-vertex `Pattern::from_local` conversions that
+/// [`block_path`] performs. Counts as a hit/miss like any other query.
+#[inline]
+pub fn query_local(entry: u8, exit: u8, fault: Option<u8>) -> Option<&'static [u8]> {
+    state().query(entry, exit, fault)
+}
+
 /// The required traversal size for a block with `fault_count` faults.
 pub fn block_target_vertices(fault_count: usize) -> usize {
     HEALTHY_BLOCK_VERTICES - 2 * fault_count

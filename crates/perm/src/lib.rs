@@ -20,6 +20,8 @@
 //!   Akers–Krishnamurthy distance formula.
 //! - [`iter::PermIter`] — iteration over all permutations of `n` symbols in
 //!   rank order.
+//! - [`packed::PackedPerm`] — the same permutation nibble-packed into one
+//!   `u64`, for register-resident hot loops (flat-arena ring expansion).
 //!
 //! Positions are **0-based** throughout the workspace; the paper uses
 //! 1-based positions, so the paper's "dimension `i`" edge (`2 <= i <= n`)
@@ -32,6 +34,7 @@ mod perm;
 
 pub mod cycles;
 pub mod iter;
+pub mod packed;
 
 pub use error::PermError;
 pub use factorial::{factorial, falling_factorial, FACTORIALS};

@@ -69,6 +69,30 @@ impl Perm {
         Ok(Perm { n: n as u8, data })
     }
 
+    /// Builds a permutation from a slice the caller has already proven
+    /// valid (e.g. produced by substituting a permutation of free symbols
+    /// into a pattern template). Skips the duplicate/range validation of
+    /// [`Perm::from_slice`] in release builds — the hot block-lift loop
+    /// constructs hundreds of thousands of vertices per embed and the
+    /// check is pure overhead there — but still debug-asserts it, so test
+    /// builds catch a bad caller immediately.
+    ///
+    /// # Panics
+    /// Panics if `symbols.len()` is outside `1..=MAX_N`; debug builds also
+    /// panic if the slice is not a permutation of `1..=len`.
+    #[inline]
+    pub fn from_slice_trusted(symbols: &[u8]) -> Self {
+        let n = symbols.len();
+        assert!((1..=MAX_N).contains(&n), "Perm size {n} out of range");
+        debug_assert!(
+            Perm::from_slice(symbols).is_ok(),
+            "from_slice_trusted given a non-permutation: {symbols:?}"
+        );
+        let mut data = [0u8; MAX_N];
+        data[..n].copy_from_slice(symbols);
+        Perm { n: n as u8, data }
+    }
+
     /// Convenience constructor from digits, e.g. `Perm::from_digits(4, 2134)`
     /// builds the permutation `2 1 3 4`. Only usable for `n <= 9`.
     ///

@@ -6,10 +6,13 @@
 //! Promoted out of `star-sim` so that both the simulator's parameter
 //! sweeps *and* the core embedder's per-block path materialization share
 //! one scheduling policy (and `star-ring` need not depend on the
-//! simulator). Work is interleaved round-robin across workers: item costs
-//! in this workspace are roughly uniform (one memoized oracle query, or
-//! one independent embed), so static interleaving balances well without
-//! any shared mutable state.
+//! simulator). Work is split into **contiguous chunks**, one per worker:
+//! item costs in this workspace are roughly uniform (one memoized oracle
+//! query, or one independent embed), so an even contiguous split balances
+//! as well as interleaving while keeping every worker's reads and writes
+//! adjacent in memory — which is what lets workers fill disjoint slices
+//! of one flat output arena ([`try_fill_chunks`]) instead of allocating
+//! per-item vectors and stitching them back together.
 //!
 //! ## Thread-count policy
 //!
@@ -21,20 +24,27 @@
 //! An explicit override wins over both heuristics — `--threads 1` forces
 //! every parallel path in the process serial, which is how the
 //! byte-identical serial-vs-parallel conformance tests are driven.
+//! **Caveat:** on a single-core host (containers with one CPU in the
+//! affinity mask included) auto resolves to one worker everywhere; a
+//! benchmark that wants to *measure* the parallel machinery must install
+//! an explicit override rather than trust auto (this is exactly how the
+//! seed perf baseline silently degenerated to serial-vs-serial).
 //!
 //! ## Utilization metrics
 //!
 //! Every parallel run records three `star-obs` counters: `pool.jobs`
 //! (parallel invocations), `pool.workers` (scoped threads spawned) and
-//! `pool.items` (work items processed), so sweep throughput and worker
-//! fan-out are visible in any metrics snapshot.
+//! `pool.items` (work items processed — map items for the map entry
+//! points, output slots for [`try_fill_chunks`]), so sweep throughput and
+//! worker fan-out are visible in any metrics snapshot. Serial fallbacks
+//! record nothing: `pool.workers > 0` after a run is the definitive
+//! "the pool actually engaged" signal the perf baseline asserts on.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Auto-mode cap on workers for fine-grained (per-block) fan-out; beyond
-/// this the global allocator dominates. Explicit [`set_threads`] overrides
-/// it.
+/// this the memory bus dominates. Explicit [`set_threads`] overrides it.
 pub const MAX_AUTO_WORKERS: usize = 8;
 
 /// Process-wide thread override; 0 means "auto".
@@ -83,12 +93,20 @@ pub fn threads() -> usize {
 
 /// Worker count for a fine-grained run of `items` uniform work items.
 ///
-/// With an explicit [`set_threads`] override the override wins (clamped
-/// to the item count). Under auto, allots at least
+/// With an explicit [`set_threads`] override the override wins, clamped
+/// to the item count. Under auto, allots at least
 /// `min_items_per_worker` items to each worker and caps the fan-out at
 /// [`MAX_AUTO_WORKERS`] and the hardware parallelism — so small inputs
-/// run serially and large ones stop scaling before the allocator
+/// run serially and large ones stop scaling before the memory bus
 /// saturates.
+///
+/// Degenerate cases are pinned down (and unit-tested) explicitly:
+/// `items == 0` is always 1 worker regardless of any override (there is
+/// nothing to fan out, and clamping an override into an empty range
+/// would otherwise panic); `min_items_per_worker == 0` is treated as 1;
+/// `items < min_items_per_worker` stays serial under auto; an override
+/// of 1 — the conformance-test mode — forces serial everywhere, which is
+/// distinct from an override of 0 (auto).
 pub fn workers_for(items: usize, min_items_per_worker: usize) -> usize {
     if items == 0 {
         return 1;
@@ -99,6 +117,23 @@ pub fn workers_for(items: usize, min_items_per_worker: usize) -> usize {
             .min(threads())
             .clamp(1, MAX_AUTO_WORKERS),
     }
+}
+
+/// Evenly partitions `0..len` into `chunks` contiguous ranges, returned
+/// as ascending cut points `[0, c_1, ..., len]` (length `chunks + 1`).
+/// The first `len % chunks` chunks are one longer, so sizes differ by at
+/// most one. `chunks` is clamped to `1..=len.max(1)`.
+pub fn chunk_cuts(len: usize, chunks: usize) -> Vec<usize> {
+    let chunks = chunks.clamp(1, len.max(1));
+    let (base, extra) = (len / chunks, len % chunks);
+    let mut cuts = Vec::with_capacity(chunks + 1);
+    let mut at = 0usize;
+    cuts.push(0);
+    for c in 0..chunks {
+        at += base + usize::from(c < extra);
+        cuts.push(at);
+    }
+    cuts
 }
 
 /// Applies `f` to every input in parallel, preserving input order in the
@@ -120,18 +155,15 @@ where
     }
     record_run(workers, n);
 
-    // Each worker w handles indices w, w + workers, w + 2*workers, ...
-    let worker_outputs: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+    // Worker w handles the contiguous range cuts[w]..cuts[w+1]; the
+    // per-worker outputs concatenate back in input order.
+    let cuts = chunk_cuts(n, workers);
+    let worker_outputs: Vec<Vec<R>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let inputs = &inputs;
+                let inputs = &inputs[cuts[w]..cuts[w + 1]];
                 let f = &f;
-                scope.spawn(move |_| {
-                    (w..n)
-                        .step_by(workers)
-                        .map(|i| (i, f(&inputs[i])))
-                        .collect::<Vec<(usize, R)>>()
-                })
+                scope.spawn(move |_| inputs.iter().map(f).collect::<Vec<R>>())
             })
             .collect();
         handles
@@ -141,22 +173,19 @@ where
     })
     .expect("sweep scope failed");
 
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut out = Vec::with_capacity(n);
     for chunk in worker_outputs {
-        for (i, r) in chunk {
-            out[i] = Some(r);
-        }
+        out.extend(chunk);
     }
-    out.into_iter()
-        .map(|slot| slot.expect("every index computed"))
-        .collect()
+    out
 }
 
 /// Computes `f(0..len)` on `workers` threads, preserving index order, and
 /// returns `None` as soon as any item fails (a cooperative abort flag
 /// stops the remaining workers early). `workers <= 1` runs inline with no
 /// thread or metric overhead — callers pick the count via
-/// [`workers_for`].
+/// [`workers_for`]. Each worker owns one contiguous index range, so
+/// per-worker memory access stays sequential.
 pub fn try_map_indexed<R, F>(len: usize, workers: usize, f: F) -> Option<Vec<R>>
 where
     R: Send,
@@ -168,24 +197,28 @@ where
     let workers = workers.min(len);
     record_run(workers, len);
     let abort = AtomicBool::new(false);
-    let results: Vec<Vec<(usize, Option<R>)>> = crossbeam::thread::scope(|scope| {
+    let cuts = chunk_cuts(len, workers);
+    let results: Vec<Option<Vec<R>>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let f = &f;
                 let abort = &abort;
+                let (lo, hi) = (cuts[w], cuts[w + 1]);
                 scope.spawn(move |_| {
-                    let mut chunk = Vec::with_capacity(len / workers + 1);
-                    for i in (w..len).step_by(workers) {
+                    let mut chunk = Vec::with_capacity(hi - lo);
+                    for i in lo..hi {
                         if abort.load(Ordering::Relaxed) {
-                            break;
+                            return None;
                         }
-                        let r = f(i);
-                        if r.is_none() {
-                            abort.store(true, Ordering::Relaxed);
+                        match f(i) {
+                            Some(r) => chunk.push(r),
+                            None => {
+                                abort.store(true, Ordering::Relaxed);
+                                return None;
+                            }
                         }
-                        chunk.push((i, r));
                     }
-                    chunk
+                    Some(chunk)
                 })
             })
             .collect();
@@ -195,16 +228,95 @@ where
             .collect()
     })
     .expect("pool scope failed");
-    if abort.load(Ordering::Relaxed) {
-        return None;
-    }
-    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let mut out = Vec::with_capacity(len);
     for chunk in results {
-        for (i, r) in chunk {
-            out[i] = Some(r?);
-        }
+        out.extend(chunk?);
     }
-    out.into_iter().collect()
+    Some(out)
+}
+
+/// Per-chunk context handed to [`try_fill_chunks`] closures.
+pub struct ChunkCtx<'a> {
+    /// Chunk index (position in the `cuts` array).
+    pub index: usize,
+    /// Absolute offset of this chunk's first output slot.
+    pub start: usize,
+    abort: &'a AtomicBool,
+}
+
+impl ChunkCtx<'_> {
+    /// `true` once any chunk has failed; long-running closures should
+    /// poll this between items and bail out early.
+    #[inline]
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+}
+
+/// Fills disjoint contiguous slices of `out` in parallel — the flat-arena
+/// work distributor. `cuts` must be ascending offsets starting at 0 and
+/// ending at `out.len()` (see [`chunk_cuts`], or caller-computed cuts
+/// aligned to logical record boundaries); chunk `c` receives exactly
+/// `out[cuts[c]..cuts[c+1]]` plus a [`ChunkCtx`], runs on its own scoped
+/// thread, and returns `false` to abort the whole run. Returns `true`
+/// iff every chunk succeeded; on failure `out`'s contents are
+/// unspecified (partially filled).
+///
+/// A single chunk runs inline with no thread or metric overhead. With
+/// more, the run records `pool.workers = chunks` and `pool.items =
+/// out.len()` (slots filled), so fan-out is visible to metric snapshots.
+///
+/// # Panics
+/// Panics if `cuts` is not a monotone partition of `0..out.len()`.
+pub fn try_fill_chunks<T, F>(out: &mut [T], cuts: &[usize], f: F) -> bool
+where
+    T: Send,
+    F: Fn(&ChunkCtx<'_>, &mut [T]) -> bool + Sync,
+{
+    assert!(
+        cuts.first() == Some(&0) && *cuts.last().expect("at least one cut") == out.len(),
+        "cuts must span 0..out.len()"
+    );
+    assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must ascend");
+    let chunks = cuts.len() - 1;
+    let abort = AtomicBool::new(false);
+    if chunks <= 1 {
+        let ctx = ChunkCtx {
+            index: 0,
+            start: 0,
+            abort: &abort,
+        };
+        return f(&ctx, out);
+    }
+    record_run(chunks, out.len());
+    let ok = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks);
+        let mut rest = out;
+        let mut consumed = 0usize;
+        for c in 0..chunks {
+            let (mine, tail) = rest.split_at_mut(cuts[c + 1] - cuts[c]);
+            rest = tail;
+            let f = &f;
+            let abort = &abort;
+            let start = consumed;
+            consumed += mine.len();
+            handles.push(scope.spawn(move |_| {
+                let ctx = ChunkCtx {
+                    index: c,
+                    start,
+                    abort,
+                };
+                if !f(&ctx, mine) {
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("fill worker panicked");
+        }
+    })
+    .is_ok();
+    ok && !abort.load(Ordering::Relaxed)
 }
 
 fn record_run(workers: usize, items: usize) {
@@ -245,6 +357,23 @@ mod tests {
     }
 
     #[test]
+    fn chunk_cuts_partition_evenly() {
+        assert_eq!(chunk_cuts(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(chunk_cuts(9, 3), vec![0, 3, 6, 9]);
+        assert_eq!(chunk_cuts(2, 5), vec![0, 1, 2]); // clamped to len
+        assert_eq!(chunk_cuts(0, 4), vec![0, 0]);
+        assert_eq!(chunk_cuts(5, 1), vec![0, 5]);
+        for (len, chunks) in [(53, 7), (1, 1), (256, 8), (255, 8)] {
+            let cuts = chunk_cuts(len, chunks);
+            assert_eq!(*cuts.first().unwrap(), 0);
+            assert_eq!(*cuts.last().unwrap(), len);
+            let sizes: Vec<usize> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced within one: {sizes:?}");
+        }
+    }
+
+    #[test]
     fn try_map_preserves_order_across_worker_counts() {
         for workers in [1usize, 2, 4, 7] {
             let out = try_map_indexed(53, workers, |i| Some(i * 3)).unwrap();
@@ -282,9 +411,100 @@ mod tests {
     }
 
     #[test]
+    fn workers_for_degenerate_boundaries() {
+        // The exact boundaries that silently collapsed the bench path.
+        set_threads(0);
+        // items strictly below the batch minimum: serial.
+        assert_eq!(workers_for(255, 256), 1);
+        // At the minimum: one worker has exactly its quota.
+        assert_eq!(workers_for(256, 256), 1);
+        // One short of two quotas: still one worker (floor semantics).
+        assert_eq!(workers_for(511, 256), 1);
+        // Two quotas: fans out iff the host has a second core.
+        assert_eq!(workers_for(512, 256), 2.min(threads()));
+        // min_items_per_worker == 0 is treated as 1, not a panic.
+        assert_eq!(workers_for(3, 0), 3.min(threads()).min(MAX_AUTO_WORKERS));
+        // Zero items never fans out — with or without an override (an
+        // override used to be clamped into the empty range 1..=0).
+        assert_eq!(workers_for(0, 256), 1);
+        set_threads(8);
+        assert_eq!(workers_for(0, 256), 1);
+        // set_threads(1) forces serial; set_threads(0) restores auto —
+        // the two must not be conflated.
+        set_threads(1);
+        assert_eq!(workers_for(1 << 20, 1), 1);
+        assert_eq!(configured_threads(), Some(1));
+        set_threads(0);
+        assert!(workers_for(1 << 20, 1) >= 1);
+        assert_eq!(configured_threads(), None);
+    }
+
+    #[test]
+    fn fill_chunks_fills_disjoint_slices() {
+        let mut out = vec![0usize; 103];
+        let cuts = chunk_cuts(out.len(), 4);
+        let ok = try_fill_chunks(&mut out, &cuts, |ctx, slice| {
+            for (k, slot) in slice.iter_mut().enumerate() {
+                *slot = (ctx.start + k) * 2;
+            }
+            true
+        });
+        assert!(ok);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn fill_chunks_serial_and_aborting() {
+        // Single chunk: inline, no metrics.
+        let jobs0 = star_obs::counter("pool.jobs").get();
+        let mut out = vec![0u8; 16];
+        assert!(try_fill_chunks(&mut out, &[0, 16], |_, s| {
+            s.fill(7);
+            true
+        }));
+        assert_eq!(out, vec![7u8; 16]);
+        assert_eq!(star_obs::counter("pool.jobs").get(), jobs0);
+        // A failing chunk aborts the whole run.
+        let cuts = chunk_cuts(out.len(), 4);
+        assert!(!try_fill_chunks(&mut out, &cuts, |ctx, _| ctx.index != 2));
+        // Cooperative abort is visible to sibling chunks.
+        let cuts = chunk_cuts(out.len(), 2);
+        let ok = try_fill_chunks(&mut out, &cuts, |ctx, s| {
+            if ctx.index == 0 {
+                return false;
+            }
+            // The sibling eventually observes the abort flag.
+            for _ in 0..1_000_000 {
+                if ctx.aborted() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            s.fill(1);
+            true
+        });
+        assert!(!ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "cuts must span")]
+    fn fill_chunks_rejects_bad_cuts() {
+        let mut out = vec![0u8; 8];
+        try_fill_chunks(&mut out, &[0, 4], |_, _| true);
+    }
+
+    #[test]
     fn pool_metrics_record_fanout() {
         let jobs0 = star_obs::counter("pool.jobs").get();
+        let workers0 = star_obs::counter("pool.workers").get();
+        let items0 = star_obs::counter("pool.items").get();
         let _ = try_map_indexed(64, 3, Some);
-        assert!(star_obs::counter("pool.jobs").get() > jobs0);
+        let mut out = vec![0u8; 64];
+        assert!(try_fill_chunks(&mut out, &chunk_cuts(64, 3), |_, _| true));
+        assert!(star_obs::counter("pool.jobs").get() >= jobs0 + 2);
+        assert!(star_obs::counter("pool.workers").get() >= workers0 + 6);
+        assert!(star_obs::counter("pool.items").get() >= items0 + 128);
     }
 }

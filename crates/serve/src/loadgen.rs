@@ -33,9 +33,13 @@
 //! ([`star_bench::baseline`]) so the existing `bench-diff` tooling can
 //! compare loadgen runs. Field mapping (documented here because the
 //! schema predates the server): `oracle_hit_rate` carries the **server
-//! cache hit rate** (fetched via a final `stats` request), and
-//! `pool_items_per_worker` carries the achieved **per-connection
-//! request rate** (req/s ÷ connections). Closed-loop case names stay
+//! cache hit rate** (fetched via a final `stats` request), and the
+//! achieved **per-connection request rate** (req/s ÷ connections) rides
+//! in the schema's dedicated `per_conn_rate` field. (It used to be
+//! smuggled through `pool_items_per_worker`, which made server-rate and
+//! pool-fan-out numbers indistinguishable in mixed baseline files; that
+//! field is now left 0.0 here since the generator has no view of the
+//! server's pool.) Closed-loop case names stay
 //! `loadgen/{mix}/c{conns}`; open-loop runs use
 //! `loadgen/{arrivals}/{mix}/c{conns}` plus a `/tail` case carrying
 //! p99 (as `median_ns`) and p99.9 (as `p95_ns`).
@@ -304,7 +308,8 @@ impl LoadgenReport {
             median_ns: self.percentile(0.5),
             p95_ns: self.percentile(0.95),
             oracle_hit_rate: self.cache_hit_rate,
-            pool_items_per_worker: per_conn_rate,
+            pool_items_per_worker: 0.0,
+            per_conn_rate,
         }];
         if self.arrivals.is_open() {
             cases.push(BaselineCase {
@@ -315,7 +320,8 @@ impl LoadgenReport {
                 median_ns: self.percentile(0.99),
                 p95_ns: self.percentile(0.999),
                 oracle_hit_rate: self.cache_hit_rate,
-                pool_items_per_worker: per_conn_rate,
+                pool_items_per_worker: 0.0,
+                per_conn_rate,
             });
         }
         Baseline { created_ms, cases }
@@ -1133,10 +1139,15 @@ mod tests {
         assert_eq!(case.name, "loadgen/mixed/c4");
         assert_eq!(case.samples, 100);
         assert!((case.oracle_hit_rate - 0.75).abs() < 1e-12);
-        assert!((case.pool_items_per_worker - 13.0).abs() < 1e-12);
-        // The serialized form must satisfy the committed schema.
+        // 52 req/s over 4 connections: the rate lives in its own field,
+        // and the pool figure no longer doubles as a smuggling channel.
+        assert!((case.per_conn_rate - 13.0).abs() < 1e-12);
+        assert_eq!(case.pool_items_per_worker, 0.0);
+        // The serialized form must satisfy the committed schema, rate
+        // included.
         let parsed = star_bench::baseline::Baseline::from_json(&baseline.to_json()).unwrap();
         assert_eq!(parsed.cases[0].name, "loadgen/mixed/c4");
+        assert!((parsed.cases[0].per_conn_rate - 13.0).abs() < 1e-12);
     }
 
     #[test]

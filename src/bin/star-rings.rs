@@ -1087,6 +1087,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             p95_ns: c.p95_ns,
             oracle_hit_rate: 1.0,
             pool_items_per_worker: 0.0,
+            per_conn_rate: 0.0,
         });
     }
     failures.extend(
@@ -1117,6 +1118,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             p95_ns: (dt.as_nanos() as u64) / soak.max(1) as u64,
             oracle_hit_rate: 1.0,
             pool_items_per_worker: 0.0,
+            per_conn_rate: 0.0,
         });
         failures.extend(mismatches.iter().map(|m| format!("soak: {m}")));
     }

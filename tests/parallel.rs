@@ -62,6 +62,39 @@ fn parallel_expansion_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn forced_parallel_embeds_engage_the_pool() {
+    // Regression for the silent-serial bug: with an explicit thread
+    // override, the flat-arena expansion must actually fan out — visible
+    // as movement in the pool's job/worker/item counters and a positive
+    // achieved items-per-worker figure. (Counters are process-global and
+    // monotonic; concurrent tests can only add to the deltas, never
+    // subtract, so this assertion is race-safe.)
+    let n = 6;
+    let faults = gen::worst_case_same_partite(n, n - 3, Parity::Even, 99).unwrap();
+    let snap0 = star_rings::obs::snapshot();
+    pool::set_threads(2);
+    let ring = embed_longest_ring(n, &faults).unwrap();
+    pool::set_threads(0);
+    let snap1 = star_rings::obs::snapshot();
+    check_ring(n, ring.vertices(), &faults).unwrap();
+    let delta = |name: &str| snap1.counter(name).unwrap_or(0) - snap0.counter(name).unwrap_or(0);
+    let (jobs, workers, items) = (
+        delta("pool.jobs"),
+        delta("pool.workers"),
+        delta("pool.items"),
+    );
+    assert!(
+        jobs > 0,
+        "no pooled job recorded for a forced-parallel embed"
+    );
+    assert!(workers >= 2 * jobs, "jobs ran with fewer than 2 workers");
+    assert!(
+        items as f64 / workers as f64 > 0.0,
+        "achieved items/worker must be positive (items {items}, workers {workers})"
+    );
+}
+
+#[test]
 fn embed_many_matches_serial_loop() {
     let n = 6;
     let scenarios: Vec<FaultSet> = (0..10)
