@@ -1,0 +1,86 @@
+//! Re-mapping rings through star-graph automorphisms.
+//!
+//! The symmetry-canonical oracle stores rings in a *canonical frame*: the
+//! fault set is first mapped through an automorphism `σ ∈ Aut(S_n)`
+//! ([`star_perm::Aut`]) to its canonical orbit representative, and the
+//! embedded ring is stored for that representative. On a cache hit the
+//! stored ring must be carried back to the caller's frame through
+//! `σ^{-1}`. Automorphisms preserve adjacency, so the image of a ring is a
+//! ring of the same length, and it avoids `F_v` iff the original avoided
+//! `σ(F_v)` — re-mapping never changes the `n! - 2|F_v|` length contract.
+
+use star_perm::{Aut, Perm};
+
+/// Applies `aut` to every vertex of `ring`, producing the image ring.
+///
+/// Debug builds assert that consecutive images remain adjacent (the
+/// automorphism property); release builds rely on [`star_perm::Aut`]'s
+/// constructor invariant (`h` fixes symbol 1) instead of re-checking
+/// hundreds of thousands of edges per call.
+pub fn map_ring(ring: &[Perm], aut: &Aut) -> Vec<Perm> {
+    let mapped: Vec<Perm> = ring.iter().map(|p| aut.apply(p)).collect();
+    debug_assert!(
+        mapped.len() < 2
+            || mapped.windows(2).all(|w| w[0].is_adjacent(&w[1]))
+                && mapped[mapped.len() - 1].is_adjacent(&mapped[0]),
+        "automorphism broke ring adjacency"
+    );
+    mapped
+}
+
+/// Applies `aut` to every fault vertex, producing the image fault set in
+/// sorted-rank order (the orbit-canonical form used for cache keys).
+pub fn map_fault_ranks(n: usize, fault_ranks: &[u32], aut: &Aut) -> Vec<u32> {
+    let mut out: Vec<u32> = fault_ranks
+        .iter()
+        .map(|&r| {
+            let p = Perm::unrank(n, r).expect("fault rank in range");
+            aut.apply(&p).rank()
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed_longest_ring;
+    use star_fault::FaultSet;
+
+    #[test]
+    fn mapped_ring_is_a_valid_ring_for_mapped_faults() {
+        let n = 5;
+        let mut faults = FaultSet::empty(n);
+        faults.add_vertex(Perm::from_digits(n, 21345)).unwrap();
+        faults.add_vertex(Perm::from_digits(n, 34125)).unwrap();
+        let ring = embed_longest_ring(n, &faults)
+            .expect("embed succeeds")
+            .into_vertices();
+        let aut = Aut::from_ranks(n, 57, 13);
+        let mapped = map_ring(&ring, &aut);
+        assert_eq!(mapped.len(), ring.len());
+
+        let mapped_faults: Vec<Perm> = faults.vertices().iter().map(|f| aut.apply(f)).collect();
+        let mut fs = FaultSet::empty(n);
+        for f in &mapped_faults {
+            fs.add_vertex(*f).unwrap();
+        }
+        star_verify::check_ring(n, &mapped, &fs).expect("mapped ring stays valid");
+
+        let back = map_ring(&mapped, &aut.inverse());
+        assert_eq!(back, ring, "map-back must be byte-identical");
+    }
+
+    #[test]
+    fn map_fault_ranks_matches_vertex_mapping() {
+        let n = 6;
+        let faults = [Perm::from_digits(n, 213456), Perm::from_digits(n, 654321)];
+        let ranks: Vec<u32> = faults.iter().map(Perm::rank).collect();
+        let aut = Aut::from_ranks(n, 999, 88);
+        let mapped = map_fault_ranks(n, &ranks, &aut);
+        let mut expect: Vec<u32> = faults.iter().map(|f| aut.apply(f).rank()).collect();
+        expect.sort_unstable();
+        assert_eq!(mapped, expect);
+    }
+}

@@ -1,0 +1,421 @@
+//! Canonicalization of `(n, F_v)` under `Aut(S_n)`.
+//!
+//! Two fault sets in the same orbit of `Aut(S_n) = { p ↦ g∘p∘h : h(1)=1 }`
+//! have isomorphic longest-ring answers, so the oracle keys on the orbit,
+//! not the literal set. [`canonicalize`] picks the representative whose
+//! sorted Lehmer-rank vector is lexicographically minimal over the whole
+//! orbit and returns it together with the *witness* automorphism `σ` that
+//! realizes it (`σ(F) = canonical`); callers map rings back through
+//! `σ^{-1}`.
+//!
+//! ## Search space reduction
+//!
+//! The lex-min sorted rank vector always contains rank 0 (the identity):
+//! for any anchor fault `f_j` and right part `h`, choosing
+//! `g = (f_j ∘ h)^{-1}` sends `f_j` to the identity, and any image set
+//! missing the identity sorts lex-greater. So the minimizing `σ` has
+//! `g = (f_j ∘ h)^{-1}` for some `j`, which collapses the `n!·(n-1)!`
+//! group to `k·(n-1)!` candidates: the image of `f_i` is the conjugate
+//! `h^{-1} (f_j^{-1} f_i) h`, and we minimize the sorted conjugate set
+//! over all anchors `j` and all `h ∈ Stab_1`. Conjugates are nibble-packed
+//! into `u64` words whose integer order equals one-line lexicographic
+//! order (= Lehmer rank order), so the inner loop is integer compares.
+//!
+//! Exhausting `(n-1)!` right parts is exact but factorial: sub-millisecond
+//! through `n = 8`, tens of milliseconds at `n = 9`, and past
+//! [`MAX_EXACT_N`] we fall back to the sorted *literal* key with an
+//! identity witness (`exact = false`) — still a correct cache key, just
+//! without orbit collapsing. A [`Canonicalizer`] memo keyed on the sorted
+//! literal ranks keeps repeated literal requests off the search entirely.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use star_perm::{factorial, Aut, Perm, MAX_N};
+
+/// Largest `n` for which the full `(n-1)!` automorphism search runs.
+pub const MAX_EXACT_N: usize = 9;
+
+/// Largest fault count the exact search accepts (the embeddable regime is
+/// `|F_v| <= n-3 <= MAX_EXACT_N - 3`; anything larger is headed for an
+/// embed error anyway and only needs a *consistent* key, not a minimal
+/// one).
+pub const MAX_EXACT_FAULTS: usize = 8;
+
+/// The canonical form of a `(n, F_v)` pair: the orbit-representative fault
+/// ranks plus the witness automorphism that maps the caller's frame onto
+/// it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Canon {
+    n: usize,
+    ranks: Vec<u32>,
+    witness: Aut,
+    exact: bool,
+}
+
+impl Canon {
+    /// The permutation size `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sorted Lehmer ranks of the canonical fault set.
+    #[inline]
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// The witness `σ` with `σ(F_literal) = F_canonical`.
+    #[inline]
+    pub fn witness(&self) -> &Aut {
+        &self.witness
+    }
+
+    /// `true` when the full automorphism search ran; `false` for the
+    /// sorted-literal fallback (`n > MAX_EXACT_N` or oversized `F_v`).
+    #[inline]
+    pub fn exact(&self) -> bool {
+        self.exact
+    }
+
+    /// The fault count `|F_v|`.
+    #[inline]
+    pub fn fault_count(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+/// Unpacks a nibble-packed one-line word (the inner loop packs values
+/// high-nibble-first so that unsigned `u64` order equals lexicographic
+/// order on the one-line form, which equals Lehmer-rank order).
+fn unpack_word(n: usize, mut w: u64) -> Perm {
+    let mut vals = [0u8; MAX_N];
+    for p in (0..n).rev() {
+        vals[p] = (w & 0xf) as u8;
+        w >>= 4;
+    }
+    Perm::from_slice(&vals[..n]).expect("packed word came from a permutation")
+}
+
+/// Canonicalizes `(n, fault_ranks)` under `Aut(S_n)`.
+///
+/// `fault_ranks` may be in any order (duplicates are collapsed); the
+/// result is deterministic for a given *set*. With no faults the canonical
+/// form is the empty set under the identity witness.
+///
+/// # Panics
+/// Panics if `n` is outside `2..=MAX_N` or a rank is out of range for `n`.
+pub fn canonicalize(n: usize, fault_ranks: &[u32]) -> Canon {
+    assert!((2..=MAX_N).contains(&n), "canonicalize: n {n} out of range");
+    let mut sorted: Vec<u32> = fault_ranks.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    canonicalize_sorted(n, sorted)
+}
+
+fn literal_fallback(n: usize, sorted: Vec<u32>) -> Canon {
+    Canon {
+        n,
+        ranks: sorted,
+        witness: Aut::identity(n),
+        exact: false,
+    }
+}
+
+fn canonicalize_sorted(n: usize, sorted: Vec<u32>) -> Canon {
+    let k = sorted.len();
+    if k == 0 {
+        return Canon {
+            n,
+            ranks: sorted,
+            witness: Aut::identity(n),
+            exact: true,
+        };
+    }
+    if n > MAX_EXACT_N || k > MAX_EXACT_FAULTS {
+        return literal_fallback(n, sorted);
+    }
+    let faults: Vec<Perm> = sorted
+        .iter()
+        .map(|&r| Perm::unrank(n, r).expect("fault rank in range"))
+        .collect();
+    if k == 1 {
+        // One fault: send it to the identity; h = id is already minimal
+        // because the image set {id} does not depend on h.
+        let witness = Aut::new(faults[0].inverse(), Perm::identity(n)).expect("id fixes 1");
+        return finish(n, vec![0], witness, &faults);
+    }
+
+    // diffs[j][i] = f_j^{-1} ∘ f_i as one-line value arrays.
+    let diff_vals: Vec<Vec<[u8; MAX_N]>> = (0..k)
+        .map(|j| {
+            let inv = faults[j].inverse();
+            (0..k)
+                .map(|i| {
+                    let d = inv.compose(&faults[i]);
+                    let mut vals = [0u8; MAX_N];
+                    vals[..n].copy_from_slice(d.as_slice());
+                    vals
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut best_words: Vec<u64> = Vec::new();
+    let mut best_pick: Option<(u64, usize)> = None; // (h rank, anchor j)
+    let mut cand = vec![0u64; k - 1];
+    let stab = Aut::stab_count(n);
+    for r in 0..stab {
+        let h = Aut::stab_unrank(n, r);
+        let hinv = h.inverse();
+        let hv = h.as_slice();
+        let hiv = hinv.as_slice();
+        for (j, dj) in diff_vals.iter().enumerate() {
+            let mut idx = 0;
+            for (i, d) in dj.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let mut w = 0u64;
+                for &x in &hv[..n] {
+                    w = (w << 4) | hiv[(d[(x - 1) as usize] - 1) as usize] as u64;
+                }
+                cand[idx] = w;
+                idx += 1;
+            }
+            cand.sort_unstable();
+            if best_pick.is_none() || cand[..] < best_words[..] {
+                best_words.clear();
+                best_words.extend_from_slice(&cand);
+                best_pick = Some((r, j));
+            }
+        }
+    }
+
+    let (r, j) = best_pick.expect("k >= 2 search visited candidates");
+    let h = Aut::stab_unrank(n, r);
+    let g = faults[j].compose(&h).inverse();
+    let witness = Aut::new(g, h).expect("stab element fixes 1");
+    let mut ranks = Vec::with_capacity(k);
+    ranks.push(0u32);
+    ranks.extend(best_words.iter().map(|&w| unpack_word(n, w).rank()));
+    finish(n, ranks, witness, &faults)
+}
+
+fn finish(n: usize, ranks: Vec<u32>, witness: Aut, faults: &[Perm]) -> Canon {
+    debug_assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks not sorted");
+    debug_assert_eq!(
+        {
+            let mut img: Vec<u32> = faults.iter().map(|f| witness.apply(f).rank()).collect();
+            img.sort_unstable();
+            img
+        },
+        ranks,
+        "witness does not map the fault set onto the canonical ranks"
+    );
+    Canon {
+        n,
+        ranks,
+        witness,
+        exact: true,
+    }
+}
+
+/// Default memo capacity (distinct literal fault sets) for
+/// [`Canonicalizer::default`].
+pub const DEFAULT_MEMO_CAP: usize = 65_536;
+
+/// A memoizing front-end for [`canonicalize`], keyed on the sorted
+/// *literal* ranks.
+///
+/// Besides saving the factorial search on repeated literal requests, the
+/// memo doubles as the serve path's literal-vs-canonical classifier: a
+/// memo hit means this exact fault set was seen before by this process
+/// (what a literal-key cache would also have hit), while a memo miss that
+/// still finds a cached ring is a pure canonical win.
+///
+/// Eviction is epoch-style: when the map reaches capacity it is cleared
+/// wholesale (entries are small and recomputation is bounded, so the
+/// simple policy beats tracking recency).
+/// Memo map: (n, sorted literal ranks) to the shared canonical form.
+type MemoMap = HashMap<(u8, Vec<u32>), Arc<Canon>>;
+
+pub struct Canonicalizer {
+    memo: Mutex<MemoMap>,
+    cap: usize,
+}
+
+impl Default for Canonicalizer {
+    fn default() -> Self {
+        Canonicalizer::new(DEFAULT_MEMO_CAP)
+    }
+}
+
+impl Canonicalizer {
+    /// Creates a memo bounded to `cap` distinct literal fault sets
+    /// (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        Canonicalizer {
+            memo: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Canonicalizes `(n, fault_ranks)`, consulting the memo first.
+    ///
+    /// Returns the canonical form and whether the memo already held this
+    /// literal set (`true` = literal repeat, `false` = first sighting).
+    pub fn canonicalize(&self, n: usize, fault_ranks: &[u32]) -> (Arc<Canon>, bool) {
+        let mut sorted: Vec<u32> = fault_ranks.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let key = (n as u8, sorted);
+        {
+            let memo = self.memo.lock().expect("canon memo poisoned");
+            if let Some(hit) = memo.get(&key) {
+                star_obs::incr("oracle.canon.memo_hit", 1);
+                return (Arc::clone(hit), true);
+            }
+        }
+        star_obs::incr("oracle.canon.memo_miss", 1);
+        let started = std::time::Instant::now();
+        let canon = Arc::new(canonicalize_sorted(n, key.1.clone()));
+        star_obs::observe_ns(
+            "oracle.canon.search_ns",
+            started.elapsed().as_nanos() as u64,
+        );
+        if star_obs::flightrec::enabled() {
+            star_obs::flightrec::record(
+                "oracle.canon",
+                format!("n{n}"),
+                &[
+                    ("k", star_obs::FieldValue::U64(canon.fault_count() as u64)),
+                    ("exact", star_obs::FieldValue::U64(canon.exact() as u64)),
+                ],
+            );
+        }
+        let mut memo = self.memo.lock().expect("canon memo poisoned");
+        if memo.len() >= self.cap {
+            memo.clear();
+        }
+        memo.insert(key, Arc::clone(&canon));
+        (canon, false)
+    }
+
+    /// Number of memoized literal fault sets.
+    pub fn memo_len(&self) -> usize {
+        self.memo.lock().expect("canon memo poisoned").len()
+    }
+}
+
+/// The orbit size upper bound `n!·(n-1)!` — exposed for docs/tests.
+pub fn aut_order(n: usize) -> u64 {
+    factorial(n) * factorial(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks_of(n: usize, digits: &[u64]) -> Vec<u32> {
+        digits
+            .iter()
+            .map(|&d| Perm::from_digits(n, d).rank())
+            .collect()
+    }
+
+    #[test]
+    fn empty_set_is_its_own_canonical_form() {
+        let c = canonicalize(5, &[]);
+        assert!(c.ranks().is_empty());
+        assert!(c.exact());
+        assert!(c.witness().is_identity());
+    }
+
+    #[test]
+    fn single_fault_canonicalizes_to_identity() {
+        for digits in [21345u64, 53412, 12354] {
+            let c = canonicalize(5, &ranks_of(5, &[digits]));
+            assert_eq!(c.ranks(), &[0], "any single fault maps to rank 0");
+            assert!(c.exact());
+            let f = Perm::from_digits(5, digits);
+            assert_eq!(c.witness().apply(&f), Perm::identity(5));
+        }
+    }
+
+    #[test]
+    fn orbit_mates_share_a_canonical_form() {
+        let n = 5;
+        let base = ranks_of(n, &[21345, 34125]);
+        let c0 = canonicalize(n, &base);
+        for (gr, hr) in [(3u64, 5u64), (100, 0), (77, 23), (0, 11)] {
+            let a = Aut::from_ranks(n, gr, hr);
+            let moved: Vec<u32> = base
+                .iter()
+                .map(|&r| a.apply(&Perm::unrank(n, r).unwrap()).rank())
+                .collect();
+            let c1 = canonicalize(n, &moved);
+            assert_eq!(c0.ranks(), c1.ranks(), "orbit mate ({gr},{hr}) diverged");
+        }
+    }
+
+    #[test]
+    fn witness_maps_literal_onto_canonical() {
+        let n = 6;
+        let ranks = ranks_of(n, &[213456, 345126, 654321]);
+        let c = canonicalize(n, &ranks);
+        let mut img: Vec<u32> = ranks
+            .iter()
+            .map(|&r| c.witness().apply(&Perm::unrank(n, r).unwrap()).rank())
+            .collect();
+        img.sort_unstable();
+        assert_eq!(img, c.ranks());
+        assert_eq!(c.ranks()[0], 0, "canonical set contains the identity");
+    }
+
+    #[test]
+    fn input_order_does_not_matter() {
+        let n = 6;
+        let a = ranks_of(n, &[213456, 345126, 654321]);
+        let mut b = a.clone();
+        b.reverse();
+        let ca = canonicalize(n, &a);
+        let cb = canonicalize(n, &b);
+        assert_eq!(ca.ranks(), cb.ranks());
+        assert_eq!(ca.witness(), cb.witness(), "witness must be deterministic");
+    }
+
+    #[test]
+    fn beyond_exact_n_falls_back_to_literal() {
+        let n = 10;
+        let ranks = vec![5u32, 3, 9];
+        let c = canonicalize(n, &ranks);
+        assert!(!c.exact());
+        assert_eq!(c.ranks(), &[3, 5, 9]);
+        assert!(c.witness().is_identity());
+    }
+
+    #[test]
+    fn memo_classifies_literal_repeats() {
+        let canon = Canonicalizer::new(16);
+        let ranks = ranks_of(5, &[21345, 34125]);
+        let (c0, hit0) = canon.canonicalize(5, &ranks);
+        assert!(!hit0, "first sighting is a memo miss");
+        let mut shuffled = ranks.clone();
+        shuffled.reverse();
+        let (c1, hit1) = canon.canonicalize(5, &shuffled);
+        assert!(hit1, "same literal set (any order) is a memo hit");
+        assert_eq!(c0.ranks(), c1.ranks());
+        assert_eq!(canon.memo_len(), 1);
+    }
+
+    #[test]
+    fn memo_epoch_clears_at_capacity() {
+        let canon = Canonicalizer::new(2);
+        for r in 0..5u32 {
+            let _ = canon.canonicalize(4, &[r]);
+        }
+        assert!(canon.memo_len() <= 2);
+    }
+}

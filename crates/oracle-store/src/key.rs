@@ -1,0 +1,55 @@
+//! The shared cache/store key: canonical fault ranks plus embed options.
+//!
+//! Both the serve LRU and the disk store key on [`OracleKey`], built from
+//! one [`Canon`] — the two layers can never disagree about
+//! what "the same scenario" means. Seam salt and spare index change the
+//! embedded ring, so they are part of the key; the `verify` option only
+//! re-checks the output and is deliberately excluded.
+
+use crate::canon::Canon;
+
+/// Key identifying one embedding answer: `(n, canonical fault ranks,
+/// salt, spare_index)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct OracleKey {
+    /// Star-graph dimension.
+    pub n: u8,
+    /// Spare-index embed option (`u8` is ample: it indexes seam spares).
+    pub spare: u8,
+    /// Seam-choice salt embed option.
+    pub salt: u32,
+    /// Sorted canonical Lehmer ranks of the vertex fault set.
+    pub ranks: Vec<u32>,
+}
+
+impl OracleKey {
+    /// Builds the key for a canonical form plus embed options.
+    pub fn new(canon: &Canon, salt: u32, spare: u8) -> Self {
+        OracleKey {
+            n: canon.n() as u8,
+            spare,
+            salt,
+            ranks: canon.ranks().to_vec(),
+        }
+    }
+
+    /// Builds a key from already-canonical parts (tests, store recovery).
+    pub fn from_parts(n: u8, ranks: Vec<u32>, salt: u32, spare: u8) -> Self {
+        OracleKey {
+            n,
+            spare,
+            salt,
+            ranks,
+        }
+    }
+
+    /// Approximate heap + inline size, for byte-budgeted caches.
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of::<OracleKey>() + self.ranks.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// The fault count `|F_v|`.
+    pub fn fault_count(&self) -> usize {
+        self.ranks.len()
+    }
+}

@@ -1,0 +1,805 @@
+//! The persistent oracle store: checksummed, append-only, shippable.
+//!
+//! ## On-disk layout (all integers little-endian)
+//!
+//! A store directory holds immutable **segment** files plus one **index**:
+//!
+//! ```text
+//! oracle/
+//!   index.sos            rebuildable lookup accelerator
+//!   seg-000000.sos       append-once record batches
+//!   seg-000001.sos
+//! ```
+//!
+//! Segment record:
+//!
+//! ```text
+//! "SOSR" | n u8 | k u8 | spare u8 | flags u8 | salt u32 | ring_len u32
+//!        | reserved u32 | ranks k×u32
+//!        | ring ring_len×u64 (PackedPerm bits) | fnv1a-64
+//! ```
+//!
+//! Index file:
+//!
+//! ```text
+//! "SOSI" | version u32 | next_seg u32 | count u64 | entries… | fnv1a-64
+//! entry: n u8 | k u8 | spare u8 | 0 u8 | salt u32 | seg u32 | rec_len u32
+//!        | offset u64 | ranks k×u32
+//! ```
+//!
+//! ## Crash-safety argument
+//!
+//! Segments are written to a `.tmp` sibling, fsync'd, then renamed into
+//! place — a segment either exists completely or not at all (rename is
+//! atomic on POSIX). Segments are never modified after the rename. The
+//! index is a pure cache of the segments' contents, rewritten the same
+//! tempfile-then-rename way *after* the segment lands; a crash between
+//! the two leaves an **orphan segment** that [`Store::open`] detects
+//! (a segment file no index entry points into) and re-scans. A torn or
+//! bit-flipped record fails its per-record FNV-1a checksum and is
+//! skipped on scan / treated as a miss on read — corruption can cost a
+//! recomputation, never a wrong ring. Shipping a warm store to another
+//! host is `scp -r` of the directory; at worst the receiver pays one
+//! index rebuild.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use star_fault::FaultSet;
+use star_perm::{factorial, packed::PackedPerm, Perm};
+
+use crate::key::OracleKey;
+
+const REC_MAGIC: &[u8; 4] = b"SOSR";
+const IDX_MAGIC: &[u8; 4] = b"SOSI";
+const IDX_VERSION: u32 = 1;
+/// Fixed-size record header bytes before the per-key ranks.
+const REC_HEADER: usize = 16;
+const CHECKSUM_LEN: usize = 8;
+/// Upper bound accepted for `ring_len` when parsing (12! vertices).
+const MAX_RING_LEN: u64 = 479_001_600;
+
+/// FNV-1a 64-bit, the workspace-standard content checksum here.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    seg: u32,
+    offset: u64,
+    len: u32,
+}
+
+struct Inner {
+    map: HashMap<OracleKey, Loc>,
+    next_seg: u32,
+    /// Total bytes of all segment files (approximate store footprint).
+    bytes: u64,
+}
+
+/// Aggregate store statistics (counts are process-lifetime for the I/O
+/// counters, on-disk truth for `records`/`segments`/`bytes`).
+#[derive(Clone, Debug, Default)]
+pub struct StoreStats {
+    /// Records currently addressable.
+    pub records: u64,
+    /// Distinct segment files referenced.
+    pub segments: u64,
+    /// Total segment bytes on disk.
+    pub bytes: u64,
+    /// Successful reads served.
+    pub hits: u64,
+    /// Lookups that found no record.
+    pub misses: u64,
+    /// Records dropped or refused for failing validation.
+    pub corrupt: u64,
+}
+
+/// Outcome of [`Store::verify`].
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Records examined.
+    pub checked: u64,
+    /// Records that decoded and passed `check_ring` at `n! - 2|F_v|`.
+    pub ok: u64,
+    /// Human-readable descriptions of every failure.
+    pub failures: Vec<String>,
+}
+
+impl VerifyReport {
+    /// `true` iff every checked record verified.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Disk-backed oracle store. Cheap to clone behind an [`Arc`]; all
+/// methods take `&self`.
+pub struct Store {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    files: Mutex<HashMap<u32, Arc<File>>>,
+    /// Serializes index rewrites (segment writes race safely; the index
+    /// must not be written interleaved).
+    index_lock: Mutex<()>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl Store {
+    /// Opens (or creates) the store at `dir`, recovering from crashes:
+    /// leftover `.tmp` files are removed, a missing or corrupt index is
+    /// rebuilt by scanning every segment, and orphan segments (written
+    /// but not yet indexed) are scanned and re-indexed.
+    pub fn open(dir: &Path) -> io::Result<Store> {
+        fs::create_dir_all(dir)?;
+        let mut segs_on_disk: HashMap<u32, PathBuf> = HashMap::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                // Crash remnant from an interrupted atomic write.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|rest| rest.strip_suffix(".sos"))
+                .and_then(|digits| digits.parse::<u32>().ok())
+            {
+                segs_on_disk.insert(id, entry.path());
+            }
+        }
+
+        let mut corrupt = 0u64;
+        let mut map: HashMap<OracleKey, Loc> = HashMap::new();
+        let mut next_seg = 0u32;
+        let mut dirty = false;
+        match load_index(&dir.join("index.sos")) {
+            Some((entries, idx_next_seg)) => {
+                next_seg = idx_next_seg;
+                for (key, loc) in entries {
+                    if segs_on_disk.contains_key(&loc.seg) {
+                        map.insert(key, loc);
+                    } else {
+                        // Index points into a segment that vanished
+                        // (partial ship): drop the entry.
+                        corrupt += 1;
+                        dirty = true;
+                    }
+                }
+            }
+            None => dirty = true,
+        }
+        let covered: std::collections::HashSet<u32> = map.values().map(|l| l.seg).collect();
+        for (&id, path) in &segs_on_disk {
+            if id >= next_seg {
+                next_seg = id + 1;
+            }
+            if covered.contains(&id) {
+                continue;
+            }
+            // Orphan (or index was rebuilt from scratch): scan it.
+            let (records, bad) = scan_segment(path, id);
+            corrupt += bad;
+            if bad > 0 || !records.is_empty() {
+                dirty = true;
+            }
+            for (key, loc) in records {
+                map.entry(key).or_insert(loc);
+            }
+        }
+        let bytes = segs_on_disk
+            .values()
+            .filter_map(|p| fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+
+        let store = Store {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(Inner {
+                map,
+                next_seg,
+                bytes,
+            }),
+            files: Mutex::new(HashMap::new()),
+            index_lock: Mutex::new(()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(corrupt),
+        };
+        if corrupt > 0 {
+            star_obs::incr("oracle.store.corrupt", corrupt);
+        }
+        if dirty {
+            store.rewrite_index()?;
+        }
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `true` iff `key` has a record (no I/O, no checksum verification).
+    pub fn contains(&self, key: &OracleKey) -> bool {
+        self.inner
+            .lock()
+            .expect("store poisoned")
+            .map
+            .contains_key(key)
+    }
+
+    /// Number of addressable records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store poisoned").map.len()
+    }
+
+    /// `true` iff the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the ring stored for `key`, verifying the record checksum and
+    /// key fields. Returns `None` on absence **or any corruption** — the
+    /// caller falls through to recomputation, never a wrong ring.
+    pub fn get(&self, key: &OracleKey) -> Option<Vec<Perm>> {
+        let loc = {
+            let inner = self.inner.lock().expect("store poisoned");
+            match inner.map.get(key) {
+                Some(loc) => *loc,
+                None => {
+                    drop(inner);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    star_obs::incr("oracle.store.miss", 1);
+                    return None;
+                }
+            }
+        };
+        match self.read_record(key, loc) {
+            Some(ring) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                star_obs::incr("oracle.store.hit", 1);
+                star_obs::incr("oracle.store.read_bytes", loc.len as u64);
+                Some(ring)
+            }
+            None => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                star_obs::incr("oracle.store.corrupt", 1);
+                None
+            }
+        }
+    }
+
+    fn read_record(&self, key: &OracleKey, loc: Loc) -> Option<Vec<Perm>> {
+        let file = self.segment_file(loc.seg).ok()?;
+        let mut buf = vec![0u8; loc.len as usize];
+        read_exact_at(&file, &mut buf, loc.offset).ok()?;
+        let (parsed, rec_len) = parse_record(&buf, 0)?;
+        if rec_len != buf.len() || &parsed != key {
+            return None;
+        }
+        decode_ring(&buf, key)
+    }
+
+    fn segment_file(&self, seg: u32) -> io::Result<Arc<File>> {
+        let mut files = self.files.lock().expect("store poisoned");
+        if let Some(f) = files.get(&seg) {
+            return Ok(Arc::clone(f));
+        }
+        let f = Arc::new(File::open(self.dir.join(seg_name(seg)))?);
+        files.insert(seg, Arc::clone(&f));
+        Ok(f)
+    }
+
+    /// Appends a batch of `(key, packed ring)` records as one new segment
+    /// (tempfile + rename), then rewrites the index. Keys already present
+    /// (first-wins) or duplicated within the batch are skipped. Returns
+    /// the number of records written.
+    pub fn append_batch(&self, batch: &[(OracleKey, Vec<u64>)]) -> io::Result<usize> {
+        let (seg, fresh) = {
+            let mut inner = self.inner.lock().expect("store poisoned");
+            let mut fresh: Vec<&(OracleKey, Vec<u64>)> = Vec::new();
+            let mut seen: std::collections::HashSet<&OracleKey> = std::collections::HashSet::new();
+            for item in batch {
+                if !inner.map.contains_key(&item.0) && seen.insert(&item.0) {
+                    fresh.push(item);
+                }
+            }
+            if fresh.is_empty() {
+                return Ok(0);
+            }
+            let seg = inner.next_seg;
+            inner.next_seg += 1;
+            // Clone out so the lock is not held across disk I/O.
+            let fresh: Vec<(OracleKey, Vec<u64>)> = fresh.into_iter().cloned().collect();
+            (seg, fresh)
+        };
+
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut locs: Vec<(OracleKey, Loc)> = Vec::with_capacity(fresh.len());
+        for (key, ring) in &fresh {
+            let offset = bytes.len() as u64;
+            encode_record(&mut bytes, key, ring);
+            locs.push((
+                key.clone(),
+                Loc {
+                    seg,
+                    offset,
+                    len: (bytes.len() as u64 - offset) as u32,
+                },
+            ));
+        }
+        let final_path = self.dir.join(seg_name(seg));
+        write_atomic(&final_path, &bytes)?;
+
+        {
+            let mut inner = self.inner.lock().expect("store poisoned");
+            inner.bytes += bytes.len() as u64;
+            for (key, loc) in locs {
+                inner.map.entry(key).or_insert(loc);
+            }
+        }
+        star_obs::incr("oracle.store.records_written", fresh.len() as u64);
+        star_obs::incr("oracle.store.bytes_written", bytes.len() as u64);
+        self.rewrite_index()?;
+        Ok(fresh.len())
+    }
+
+    fn rewrite_index(&self) -> io::Result<()> {
+        let _guard = self.index_lock.lock().expect("store poisoned");
+        let (entries, next_seg) = {
+            let inner = self.inner.lock().expect("store poisoned");
+            let entries: Vec<(OracleKey, Loc)> =
+                inner.map.iter().map(|(k, l)| (k.clone(), *l)).collect();
+            (entries, inner.next_seg)
+        };
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.extend_from_slice(IDX_MAGIC);
+        bytes.extend_from_slice(&IDX_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&next_seg.to_le_bytes());
+        bytes.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, loc) in &entries {
+            bytes.push(key.n);
+            bytes.push(key.ranks.len() as u8);
+            bytes.push(key.spare);
+            bytes.push(0);
+            bytes.extend_from_slice(&key.salt.to_le_bytes());
+            bytes.extend_from_slice(&loc.seg.to_le_bytes());
+            bytes.extend_from_slice(&loc.len.to_le_bytes());
+            bytes.extend_from_slice(&loc.offset.to_le_bytes());
+            for r in &key.ranks {
+                bytes.extend_from_slice(&r.to_le_bytes());
+            }
+        }
+        let sum = fnv64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        write_atomic(&self.dir.join("index.sos"), &bytes)
+    }
+
+    /// Store statistics: on-disk truth plus this process's I/O counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store poisoned");
+        let segments = inner
+            .map
+            .values()
+            .map(|l| l.seg)
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        StoreStats {
+            records: inner.map.len() as u64,
+            segments,
+            bytes: inner.bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Re-reads up to `limit` records (0 = all, in unspecified order),
+    /// verifying checksums, decode, and the full ring contract:
+    /// `check_ring` success at length `n! - 2|F_v|` against the canonical
+    /// fault set reconstructed from the key.
+    pub fn verify(&self, limit: usize) -> VerifyReport {
+        let keys: Vec<OracleKey> = {
+            let inner = self.inner.lock().expect("store poisoned");
+            let iter = inner.map.keys().cloned();
+            if limit == 0 {
+                iter.collect()
+            } else {
+                iter.take(limit).collect()
+            }
+        };
+        let mut report = VerifyReport::default();
+        for key in keys {
+            report.checked += 1;
+            let Some(ring) = self.get(&key) else {
+                report
+                    .failures
+                    .push(format!("{key:?}: record missing or corrupt"));
+                continue;
+            };
+            match verify_ring_for_key(&key, &ring) {
+                Ok(()) => report.ok += 1,
+                Err(e) => report.failures.push(format!("{key:?}: {e}")),
+            }
+        }
+        report
+    }
+}
+
+/// Checks one decoded ring against its key's contract.
+fn verify_ring_for_key(key: &OracleKey, ring: &[Perm]) -> Result<(), String> {
+    let n = key.n as usize;
+    let k = key.ranks.len();
+    let expected = factorial(n) - 2 * k as u64;
+    if ring.len() as u64 != expected {
+        return Err(format!(
+            "ring length {} != n!-2|Fv| = {expected}",
+            ring.len()
+        ));
+    }
+    let faults = FaultSet::from_vertices(
+        n,
+        key.ranks
+            .iter()
+            .map(|&r| Perm::unrank(n, r).expect("stored rank in range")),
+    )
+    .map_err(|e| e.to_string())?;
+    star_verify::check_ring(n, ring, &faults).map_err(|e| e.to_string())
+}
+
+fn seg_name(seg: u32) -> String {
+    format!("seg-{seg:06}.sos")
+}
+
+/// Writes `bytes` to `path` atomically: tempfile sibling, fsync, rename,
+/// directory fsync (POSIX).
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("sos.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek};
+    let mut f = file.try_clone()?;
+    f.seek(io::SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+fn encode_record(out: &mut Vec<u8>, key: &OracleKey, ring: &[u64]) {
+    let start = out.len();
+    out.extend_from_slice(REC_MAGIC);
+    out.push(key.n);
+    out.push(key.ranks.len() as u8);
+    out.push(key.spare);
+    out.push(0); // flags
+    out.extend_from_slice(&key.salt.to_le_bytes());
+    out.extend_from_slice(&(ring.len() as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // reserved / alignment
+    for r in &key.ranks {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+    for w in ring {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    let sum = fnv64(&out[start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Parses the record starting at `offset` in `buf`; returns the key and
+/// total record length, or `None` if truncated or checksum-invalid.
+fn parse_record(buf: &[u8], offset: usize) -> Option<(OracleKey, usize)> {
+    let rec = &buf[offset.min(buf.len())..];
+    if rec.len() < REC_HEADER || &rec[..4] != REC_MAGIC {
+        return None;
+    }
+    let n = rec[4];
+    let k = rec[5] as usize;
+    let spare = rec[6];
+    let salt = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+    let ring_len = u32::from_le_bytes(rec[12..16].try_into().unwrap()) as u64;
+    if !(1..=star_perm::MAX_N as u8).contains(&n) || ring_len > MAX_RING_LEN {
+        return None;
+    }
+    let rec_len = REC_HEADER + 4 + 4 * k + 8 * ring_len as usize + CHECKSUM_LEN;
+    if rec.len() < rec_len {
+        return None;
+    }
+    let body = &rec[..rec_len - CHECKSUM_LEN];
+    let stored = u64::from_le_bytes(rec[rec_len - CHECKSUM_LEN..rec_len].try_into().unwrap());
+    if fnv64(body) != stored {
+        return None;
+    }
+    let mut ranks = Vec::with_capacity(k);
+    for i in 0..k {
+        let at = REC_HEADER + 4 + 4 * i;
+        ranks.push(u32::from_le_bytes(rec[at..at + 4].try_into().unwrap()));
+    }
+    Some((OracleKey::from_parts(n, ranks, salt, spare), rec_len))
+}
+
+/// Decodes the ring payload of an already-checksum-verified record.
+fn decode_ring(rec: &[u8], key: &OracleKey) -> Option<Vec<Perm>> {
+    let n = key.n as usize;
+    let k = key.ranks.len();
+    let ring_len = u32::from_le_bytes(rec[12..16].try_into().unwrap()) as usize;
+    let base = REC_HEADER + 4 + 4 * k;
+    let mut ring = Vec::with_capacity(ring_len);
+    for i in 0..ring_len {
+        let at = base + 8 * i;
+        let bits = u64::from_le_bytes(rec[at..at + 8].try_into().unwrap());
+        let packed = PackedPerm::from_raw(n, bits).ok()?;
+        ring.push(packed.to_perm());
+    }
+    Some(ring)
+}
+
+/// Scans a whole segment file, returning the valid records and the count
+/// of corrupt/truncated tails encountered (at most 1: scanning stops at
+/// the first bad record, since a torn write has no valid successor).
+fn scan_segment(path: &Path, seg: u32) -> (Vec<(OracleKey, Loc)>, u64) {
+    let Ok(buf) = fs::read(path) else {
+        return (Vec::new(), 1);
+    };
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < buf.len() {
+        match parse_record(&buf, offset) {
+            Some((key, rec_len)) => {
+                records.push((
+                    key,
+                    Loc {
+                        seg,
+                        offset: offset as u64,
+                        len: rec_len as u32,
+                    },
+                ));
+                offset += rec_len;
+            }
+            None => return (records, 1),
+        }
+    }
+    (records, 0)
+}
+
+/// Loads the index file: `Some((entries, next_seg))` when present and
+/// checksum-valid, `None` otherwise (caller rebuilds by scanning).
+fn load_index(path: &Path) -> Option<(Vec<(OracleKey, Loc)>, u32)> {
+    let buf = fs::read(path).ok()?;
+    if buf.len() < 20 + CHECKSUM_LEN || &buf[..4] != IDX_MAGIC {
+        return None;
+    }
+    let body = &buf[..buf.len() - CHECKSUM_LEN];
+    let stored = u64::from_le_bytes(buf[buf.len() - CHECKSUM_LEN..].try_into().unwrap());
+    if fnv64(body) != stored {
+        return None;
+    }
+    if u32::from_le_bytes(buf[4..8].try_into().unwrap()) != IDX_VERSION {
+        return None;
+    }
+    let next_seg = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let count = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+    let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
+    let mut at = 20usize;
+    for _ in 0..count {
+        if body.len() < at + 24 {
+            return None;
+        }
+        let n = body[at];
+        let k = body[at + 1] as usize;
+        let spare = body[at + 2];
+        let salt = u32::from_le_bytes(body[at + 4..at + 8].try_into().unwrap());
+        let seg = u32::from_le_bytes(body[at + 8..at + 12].try_into().unwrap());
+        let len = u32::from_le_bytes(body[at + 12..at + 16].try_into().unwrap());
+        let offset = u64::from_le_bytes(body[at + 16..at + 24].try_into().unwrap());
+        at += 24;
+        if body.len() < at + 4 * k {
+            return None;
+        }
+        let mut ranks = Vec::with_capacity(k);
+        for i in 0..k {
+            ranks.push(u32::from_le_bytes(
+                body[at + 4 * i..at + 4 * i + 4].try_into().unwrap(),
+            ));
+        }
+        at += 4 * k;
+        entries.push((
+            OracleKey::from_parts(n, ranks, salt, spare),
+            Loc { seg, offset, len },
+        ));
+    }
+    if at != body.len() {
+        return None;
+    }
+    Some((entries, next_seg))
+}
+
+/// Packs a ring of [`Perm`]s into the store's `u64` word encoding.
+pub fn pack_ring(ring: &[Perm]) -> Vec<u64> {
+    ring.iter()
+        .map(|p| PackedPerm::from_perm(p).bits())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8, ranks: &[u32]) -> OracleKey {
+        OracleKey::from_parts(n, ranks.to_vec(), 0, 0)
+    }
+
+    fn tiny_ring(n: usize, len: usize) -> Vec<Perm> {
+        // Not a valid ring — encode/decode tests only.
+        (0..len as u32)
+            .map(|r| Perm::unrank(n, r).unwrap())
+            .collect()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("star-oracle-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let k = key(4, &[0, 5]);
+        let ring = tiny_ring(4, 7);
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &k, &pack_ring(&ring));
+        let (parsed, rec_len) = parse_record(&buf, 0).expect("record parses");
+        assert_eq!(parsed, k);
+        assert_eq!(rec_len, buf.len());
+        assert_eq!(decode_ring(&buf, &k).expect("ring decodes"), ring);
+    }
+
+    #[test]
+    fn store_round_trips_and_survives_reopen() {
+        let dir = tmpdir("roundtrip");
+        let ring = tiny_ring(5, 10);
+        let k = key(5, &[0, 3, 8]);
+        {
+            let store = Store::open(&dir).unwrap();
+            assert!(store.is_empty());
+            assert_eq!(
+                store
+                    .append_batch(&[(k.clone(), pack_ring(&ring))])
+                    .unwrap(),
+                1
+            );
+            assert_eq!(store.get(&k).expect("hit"), ring);
+            // Duplicate append is a no-op.
+            assert_eq!(
+                store
+                    .append_batch(&[(k.clone(), pack_ring(&ring))])
+                    .unwrap(),
+                0
+            );
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&k).expect("hit after reopen"), ring);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_index_is_rebuilt_from_segments() {
+        let dir = tmpdir("reindex");
+        let k = key(4, &[2]);
+        let ring = tiny_ring(4, 6);
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .append_batch(&[(k.clone(), pack_ring(&ring))])
+                .unwrap();
+        }
+        fs::remove_file(dir.join("index.sos")).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get(&k).expect("recovered from scan"), ring);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_segment_degrades_to_miss() {
+        let dir = tmpdir("truncate");
+        let k1 = key(4, &[1]);
+        let k2 = key(4, &[2]);
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .append_batch(&[
+                    (k1.clone(), pack_ring(&tiny_ring(4, 6))),
+                    (k2.clone(), pack_ring(&tiny_ring(4, 8))),
+                ])
+                .unwrap();
+        }
+        // Chop the tail off the segment: second record torn.
+        let seg = dir.join(seg_name(0));
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 10]).unwrap();
+        fs::remove_file(dir.join("index.sos")).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(store.get(&k1).is_some(), "intact record survives");
+        assert!(store.get(&k2).is_none(), "torn record is a miss");
+        assert!(store.stats().corrupt > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflip_fails_checksum_and_reads_as_miss() {
+        let dir = tmpdir("bitflip");
+        let k = key(5, &[4, 9]);
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .append_batch(&[(k.clone(), pack_ring(&tiny_ring(5, 12)))])
+                .unwrap();
+        }
+        let seg = dir.join(seg_name(0));
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+        // Index still points at the record; the read-path checksum is the
+        // last line of defense.
+        let store = Store::open(&dir).unwrap();
+        assert!(store.get(&k).is_none(), "bit flip must read as a miss");
+        assert!(store.stats().corrupt > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_is_ignored_and_rebuilt() {
+        let dir = tmpdir("badindex");
+        let k = key(4, &[3]);
+        let ring = tiny_ring(4, 5);
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .append_batch(&[(k.clone(), pack_ring(&ring))])
+                .unwrap();
+        }
+        let idx = dir.join("index.sos");
+        let mut bytes = fs::read(&idx).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x55;
+        fs::write(&idx, &bytes).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get(&k).expect("rebuilt from segments"), ring);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

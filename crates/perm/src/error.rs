@@ -34,6 +34,16 @@ pub enum PermError {
         /// The permutation size.
         n: usize,
     },
+    /// Two permutations of different sizes were combined.
+    SizeMismatch {
+        /// Size of the left operand.
+        left: usize,
+        /// Size of the right operand.
+        right: usize,
+    },
+    /// A `(g, h)` pair whose `h` does not fix symbol 1 was offered as a
+    /// star-graph automorphism.
+    NotAnAutomorphism,
 }
 
 impl fmt::Display for PermError {
@@ -51,6 +61,12 @@ impl fmt::Display for PermError {
             }
             PermError::SymbolOutOfRange { symbol, n } => {
                 write!(f, "symbol {symbol} is out of range for n = {n}")
+            }
+            PermError::SizeMismatch { left, right } => {
+                write!(f, "permutation sizes differ: {left} vs {right}")
+            }
+            PermError::NotAnAutomorphism => {
+                write!(f, "right part h of a star automorphism must fix symbol 1")
             }
         }
     }

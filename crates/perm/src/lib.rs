@@ -32,10 +32,12 @@ mod factorial;
 mod parity;
 mod perm;
 
+pub mod aut;
 pub mod cycles;
 pub mod iter;
 pub mod packed;
 
+pub use aut::Aut;
 pub use error::PermError;
 pub use factorial::{factorial, falling_factorial, FACTORIALS};
 pub use parity::Parity;

@@ -1,11 +1,14 @@
 //! Sharded LRU result cache for embed responses.
 //!
-//! Keyed by `(n, canonical fault set, embed options)`: the fault set is
-//! canonicalized to its sorted Lehmer-rank list, so two requests naming
-//! the same faults in different orders share one entry (embeds are
-//! deterministic, so the cached ring is exactly what a fresh embed would
-//! return). Values are `Arc<[Perm]>` rings; a hit costs one shard mutex
-//! plus an `Arc` clone.
+//! Keyed by [`CacheKey`] = [`star_oracle::OracleKey`]: `(n, Aut(S_n)-
+//! canonical fault ranks, embed options)`. The fault set is canonicalized
+//! through the **same** [`star_oracle::Canonicalizer`] the disk store
+//! uses ([`key_for`]), so the in-memory and persistent layers can never
+//! disagree about what "the same scenario" means, and two requests whose
+//! fault sets differ only by a star-graph automorphism share one entry
+//! (the ring is stored in the canonical frame; the serve path maps it
+//! back through the witness automorphism on hit). Values are
+//! `Arc<[Perm]>` rings; a hit costs one shard mutex plus an `Arc` clone.
 //!
 //! **Sharding.** Keys map to one of [`SHARDS`] independent
 //! mutex-protected LRU lists by hash, so concurrent workers only contend
@@ -29,47 +32,29 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use star_fault::FaultSet;
+use star_oracle::Canon;
 use star_perm::Perm;
 use star_ring::EmbedOptions;
 
 /// Number of independent LRU shards.
 pub const SHARDS: usize = 16;
 
-/// Canonical cache key: dimension, sorted fault ranks, and the embed
-/// options that affect the output ring.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    n: u8,
-    fault_ranks: Vec<u32>,
-    salt: u32,
-    spare_index: u8,
+/// The cache key — the one key type shared with the persistent oracle
+/// store. Built from a [`Canon`] via [`key_for`], never from a raw fault
+/// set, so every consumer agrees on the canonical frame.
+pub type CacheKey = star_oracle::OracleKey;
+
+/// Builds the cache/store key for a canonicalized scenario.
+/// `options.verify` is deliberately excluded: verification never changes
+/// the ring, so verified and unverified requests share entries.
+pub fn key_for(canon: &Canon, options: &EmbedOptions) -> CacheKey {
+    CacheKey::new(canon, options.salt as u32, options.spare_index as u8)
 }
 
-impl CacheKey {
-    /// Builds the canonical key for a scenario. `options.verify` is
-    /// deliberately excluded: verification never changes the ring, so
-    /// verified and unverified requests share entries.
-    pub fn new(n: usize, faults: &FaultSet, options: &EmbedOptions) -> CacheKey {
-        let mut fault_ranks: Vec<u32> = faults.vertices().iter().map(Perm::rank).collect();
-        fault_ranks.sort_unstable();
-        CacheKey {
-            n: n as u8,
-            fault_ranks,
-            salt: options.salt as u32,
-            spare_index: options.spare_index as u8,
-        }
-    }
-
-    fn bytes(&self) -> usize {
-        std::mem::size_of::<CacheKey>() + self.fault_ranks.len() * std::mem::size_of::<u32>()
-    }
-
-    fn shard(&self) -> usize {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut h);
-        (h.finish() % SHARDS as u64) as usize
-    }
+fn shard_of(key: &CacheKey) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % SHARDS as u64) as usize
 }
 
 /// Point-in-time occupancy numbers (summed over shards).
@@ -263,7 +248,7 @@ impl ResultCache {
     }
 
     fn shard(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, Shard> {
-        self.shards[key.shard()]
+        self.shards[shard_of(key)]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
     }
@@ -335,14 +320,16 @@ mod tests {
     use super::*;
 
     fn key(n: usize, fault_digits: &[u64], salt: usize) -> CacheKey {
-        let faults =
-            FaultSet::from_vertices(n, fault_digits.iter().map(|&d| Perm::from_digits(n, d)))
-                .unwrap();
+        let ranks: Vec<u32> = fault_digits
+            .iter()
+            .map(|&d| Perm::from_digits(n, d).rank())
+            .collect();
+        let canon = star_oracle::canonicalize(n, &ranks);
         let opts = EmbedOptions {
             salt,
             ..Default::default()
         };
-        CacheKey::new(n, &faults, &opts)
+        key_for(&canon, &opts)
     }
 
     fn ring(len: usize) -> Arc<[Perm]> {
@@ -350,19 +337,23 @@ mod tests {
     }
 
     #[test]
-    fn fault_order_is_canonicalized() {
+    fn keys_are_automorphism_canonical() {
+        // Same set, different order: one key.
         assert_eq!(key(5, &[21345, 32145], 0), key(5, &[32145, 21345], 0));
-        assert_ne!(key(5, &[21345], 0), key(5, &[32145], 0));
+        // Orbit mates (any two single faults are automorphic): one key.
+        assert_eq!(key(5, &[21345], 0), key(5, &[32145], 0));
+        // Different orbits stay apart.
+        assert_ne!(key(5, &[21345], 0), key(5, &[21345, 32145], 0));
+        // Options that change the ring split entries.
         assert_ne!(key(5, &[21345], 0), key(5, &[21345], 1));
     }
 
     #[test]
     fn verify_option_does_not_split_entries() {
-        let faults = FaultSet::empty(5);
-        let a = CacheKey::new(5, &faults, &EmbedOptions::default());
-        let b = CacheKey::new(
-            5,
-            &faults,
+        let canon = star_oracle::canonicalize(5, &[]);
+        let a = key_for(&canon, &EmbedOptions::default());
+        let b = key_for(
+            &canon,
             &EmbedOptions {
                 verify: false,
                 ..Default::default()

@@ -55,7 +55,7 @@ use rand::{RngCore, RngExt, SeedableRng};
 use star_bench::baseline::{Baseline, BaselineCase};
 use star_bench::jsonv::Json;
 use star_obs::LocalHistogram;
-use star_perm::Perm;
+use star_perm::{Aut, Perm};
 
 use crate::client::{certified_embed_request, embed_request, plain_request, with_trace_id, Client};
 
@@ -72,7 +72,7 @@ pub struct LoadgenConfig {
     pub rps: u64,
     /// Run duration.
     pub duration: Duration,
-    /// Request mix: `embed`, `cached`, or `mixed`.
+    /// Request mix: `embed`, `cached`, `mixed`, or `automorphic`.
     pub mix: Mix,
     /// Arrival process: `closed`, `poisson`, or `burst`.
     pub arrivals: Arrivals,
@@ -117,6 +117,13 @@ pub enum Mix {
     /// costs ~70 ms of worker CPU and belongs in the `embed` mix, not in
     /// a throughput workload), 10% health, 5% stats.
     Mixed,
+    /// Embeds drawn from the **orbits** of a few seeded base scenarios:
+    /// each request applies a fresh random `Aut(S_n)` element to a base
+    /// fault set, so literal fault lists almost never repeat but every
+    /// request is automorphic to one of a handful of canonical forms.
+    /// A literal-keyed cache sees ~100% misses here; the oracle's
+    /// canonical key collapses the whole orbit onto one entry.
+    Automorphic,
 }
 
 impl Mix {
@@ -126,7 +133,10 @@ impl Mix {
             "embed" => Ok(Mix::Embed),
             "cached" => Ok(Mix::Cached),
             "mixed" => Ok(Mix::Mixed),
-            other => Err(format!("unknown mix `{other}` (embed|cached|mixed)")),
+            "automorphic" => Ok(Mix::Automorphic),
+            other => Err(format!(
+                "unknown mix `{other}` (embed|cached|mixed|automorphic)"
+            )),
         }
     }
 
@@ -135,6 +145,7 @@ impl Mix {
             Mix::Embed => "embed",
             Mix::Cached => "cached",
             Mix::Mixed => "mixed",
+            Mix::Automorphic => "automorphic",
         }
     }
 }
@@ -237,6 +248,16 @@ pub struct LoadgenReport {
     pub rps: f64,
     /// Server cache hit rate at the end of the run (from `stats`).
     pub cache_hit_rate: f64,
+    /// Oracle hit taxonomy at the end of the run (from the `stats`
+    /// response's `oracle` block): embeds whose *literal* fault list was
+    /// seen before, embeds answered only because their *canonical*
+    /// (orbit) key matched, and canonical-key misses. All zero when the
+    /// server served no embeds.
+    pub oracle_literal_hits: u64,
+    /// See `oracle_literal_hits`.
+    pub oracle_canonical_hits: u64,
+    /// See `oracle_literal_hits`.
+    pub oracle_misses: u64,
     /// Closed loop: sorted service-time latencies (ns) of `ok`
     /// responses. Empty in open-loop runs (see `hist`).
     pub latencies_ns: Vec<u64>,
@@ -379,6 +400,19 @@ impl LoadgenReport {
             "loadgen:   server cache hit rate {:.1}%",
             self.cache_hit_rate * 100.0
         );
+        let oracle_total =
+            self.oracle_literal_hits + self.oracle_canonical_hits + self.oracle_misses;
+        if oracle_total > 0 {
+            let _ = writeln!(
+                out,
+                "loadgen:   oracle: {} literal hits ({:.1}%), {} canonical hits ({:.1}%), {} misses",
+                self.oracle_literal_hits,
+                self.oracle_literal_hits as f64 / oracle_total as f64 * 100.0,
+                self.oracle_canonical_hits,
+                self.oracle_canonical_hits as f64 / oracle_total as f64 * 100.0,
+                self.oracle_misses,
+            );
+        }
         if self.certs_checked > 0 || self.cert_failures > 0 {
             let _ = writeln!(
                 out,
@@ -430,6 +464,51 @@ fn scenario_pool(seed: u64) -> Vec<(usize, Vec<String>)> {
         }
     }
     pool
+}
+
+/// Base scenarios for the `automorphic` mix: one full-budget fault set
+/// (`k = n-3`) per `n` in 5..=7. Requests sample the *orbits* of these
+/// under `Aut(S_n)` — tiny base pool, enormous literal-key space
+/// (`n!·(n-1)!` automorphisms per scenario).
+fn automorphic_pool(seed: u64) -> Vec<(usize, Vec<String>)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA07_0B17);
+    let mut pool = Vec::new();
+    for n in 5..=7usize {
+        let budget = n - 3;
+        let mut faults: Vec<String> = Vec::with_capacity(budget);
+        while faults.len() < budget {
+            let p = random_perm(&mut rng, n);
+            let s = p.to_string();
+            if p != Perm::identity(n) && !faults.contains(&s) {
+                faults.push(s);
+            }
+        }
+        pool.push((n, faults));
+    }
+    pool
+}
+
+/// The mix's scenario pool (see [`scenario_pool`] / [`automorphic_pool`]).
+fn pool_for(mix: Mix, seed: u64) -> Vec<(usize, Vec<String>)> {
+    match mix {
+        Mix::Automorphic => automorphic_pool(seed),
+        _ => scenario_pool(seed),
+    }
+}
+
+/// A uniformly random orbit-mate of `faults` under `Aut(S_n)`: one
+/// automorphism applied to every fault. Distinctness survives (an
+/// automorphism is a bijection on vertices); the image may contain the
+/// identity vertex, which the embedder handles like any other fault.
+fn orbit_sample(rng: &mut StdRng, n: usize, faults: &[String]) -> Vec<String> {
+    let aut = Aut::from_ranks(n, rng.next_u64(), rng.next_u64());
+    faults
+        .iter()
+        .map(|f| {
+            let p: Perm = f.parse().expect("pool perms are valid");
+            aut.apply(&p).to_string()
+        })
+        .collect()
 }
 
 #[derive(Debug, Default)]
@@ -523,6 +602,11 @@ fn gen_request(
             85..=94 => (plain_request(id, "health"), None),
             _ => (plain_request(id, "stats"), None),
         },
+        Mix::Automorphic => {
+            let (n, base) = &pool[rng.random_range(0..pool.len())];
+            let faults = orbit_sample(rng, *n, base);
+            build_embed(id, *n, &faults)
+        }
     }
 }
 
@@ -836,7 +920,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             config.arrivals.name()
         ));
     }
-    let pool = scenario_pool(config.seed);
+    let pool = pool_for(config.mix, config.seed);
     let started = Instant::now();
     let stop_at = started + config.duration;
     let issued = AtomicU64::new(0);
@@ -880,6 +964,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         elapsed,
         rps: 0.0,
         cache_hit_rate: 0.0,
+        oracle_literal_hits: 0,
+        oracle_canonical_hits: 0,
+        oracle_misses: 0,
         latencies_ns: Vec::new(),
         hist: config.arrivals.is_open().then(LocalHistogram::new),
         conns: config.conns,
@@ -948,6 +1035,16 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             if hits + misses > 0.0 {
                 report.cache_hit_rate = hits / (hits + misses);
             }
+            let oracle = stats.get("oracle");
+            let field = |name: &str| {
+                oracle
+                    .and_then(|o| o.get(name))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            report.oracle_literal_hits = field("literal_hits");
+            report.oracle_canonical_hits = field("canonical_hits");
+            report.oracle_misses = field("misses");
         }
     }
     Ok(report)
@@ -988,6 +1085,77 @@ mod tests {
     fn scenario_pool_is_deterministic() {
         assert_eq!(scenario_pool(1), scenario_pool(1));
         assert_ne!(scenario_pool(1), scenario_pool(2));
+    }
+
+    #[test]
+    fn mix_parse_round_trips() {
+        for (text, want) in [
+            ("embed", Mix::Embed),
+            ("cached", Mix::Cached),
+            ("mixed", Mix::Mixed),
+            ("automorphic", Mix::Automorphic),
+        ] {
+            assert_eq!(Mix::parse(text).unwrap(), want);
+            assert_eq!(want.name(), text);
+        }
+        assert!(Mix::parse("orbit").is_err());
+    }
+
+    #[test]
+    fn automorphic_pool_uses_full_budget_distinct_faults() {
+        let pool = automorphic_pool(3);
+        assert_eq!(pool, automorphic_pool(3), "pool must be seeded");
+        let ns: Vec<usize> = pool.iter().map(|(n, _)| *n).collect();
+        assert_eq!(ns, vec![5, 6, 7]);
+        for (n, faults) in &pool {
+            assert_eq!(faults.len(), n - 3, "full budget for n={n}");
+            let mut dedup = faults.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), faults.len(), "faults must be distinct");
+        }
+    }
+
+    #[test]
+    fn orbit_samples_are_automorphic_to_their_base_but_literally_fresh() {
+        let pool = automorphic_pool(7);
+        let (n, base) = &pool[2];
+        let ranks = |faults: &[String]| -> Vec<u32> {
+            faults
+                .iter()
+                .map(|f| f.parse::<Perm>().unwrap().rank())
+                .collect()
+        };
+        let base_canon = star_oracle::canonicalize(*n, &ranks(base));
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut literal_repeats = 0usize;
+        let mut seen: Vec<Vec<String>> = vec![base.clone()];
+        for _ in 0..20 {
+            let sample = orbit_sample(&mut rng, *n, base);
+            assert_eq!(sample.len(), base.len(), "bijection keeps distinctness");
+            let canon = star_oracle::canonicalize(*n, &ranks(&sample));
+            assert_eq!(
+                canon.ranks(),
+                base_canon.ranks(),
+                "orbit-mates must share the canonical form"
+            );
+            let mut sorted = sample.clone();
+            sorted.sort();
+            if seen.iter().any(|s| {
+                let mut t = s.clone();
+                t.sort();
+                t == sorted
+            }) {
+                literal_repeats += 1;
+            }
+            seen.push(sample);
+        }
+        // n=7 has 7!·6! ≈ 3.6M automorphisms: 20 draws repeating
+        // literally would mean the sampler is broken.
+        assert!(
+            literal_repeats < 3,
+            "{literal_repeats} literal repeats in 20 orbit draws"
+        );
     }
 
     #[test]
@@ -1122,6 +1290,9 @@ mod tests {
             elapsed: Duration::from_secs(2),
             rps: 52.0,
             cache_hit_rate: 0.75,
+            oracle_literal_hits: 0,
+            oracle_canonical_hits: 0,
+            oracle_misses: 0,
             latencies_ns: (1..=100).map(|i| i * 1000).collect(),
             hist: None,
             conns: 4,
@@ -1207,6 +1378,23 @@ mod tests {
         assert!(text.contains("arrivals burst"), "{text}");
         assert!(text.contains("unanswered after drain grace: 3"), "{text}");
         assert!(!text.contains("coordinated omission"), "{text}");
+    }
+
+    #[test]
+    fn summary_reports_oracle_taxonomy_only_when_present() {
+        let silent = sample_report().render_summary();
+        assert!(!silent.contains("oracle:"), "{silent}");
+        let report = LoadgenReport {
+            oracle_literal_hits: 10,
+            oracle_canonical_hits: 30,
+            oracle_misses: 10,
+            ..sample_report()
+        };
+        let text = report.render_summary();
+        assert!(
+            text.contains("oracle: 10 literal hits (20.0%), 30 canonical hits (60.0%), 10 misses"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -31,14 +31,18 @@
 
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use star_bench::jsonv::Json;
+use star_oracle::{Canon, Canonicalizer, Store, WriteBehind};
+use star_perm::Perm;
+use star_ring::remap::map_ring;
 use star_ring::{embed_many_with_options, embed_with_options, EmbedOptions};
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{key_for, CacheKey, ResultCache};
 use crate::proto::{
     attach_trace, error_response, error_response_traced, ok_response, read_frame, ring_to_json,
     write_frame, ErrorCode, FrameRead, Request, RequestBody, ServerTiming,
@@ -74,6 +78,10 @@ pub struct ServeConfig {
     /// monitor over the queued path; a breach auto-dumps the flight
     /// recorder tagged with the offending trace ids. `None` = off.
     pub slo: Option<SloConfig>,
+    /// Persistent oracle store directory (`--oracle-path`): canonical
+    /// misses consult the disk store before embedding, and fresh embeds
+    /// are written behind. `None` = in-memory cache only.
+    pub oracle_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +98,7 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             verify_responses: false,
             slo: None,
+            oracle_path: None,
         }
     }
 }
@@ -182,6 +191,15 @@ struct ServeObs {
     write_errors: star_obs::Counter,
     inline_health: star_obs::Counter,
     inline_stats: star_obs::Counter,
+    // Oracle hit taxonomy: a "literal" hit would also have been served by
+    // the old literal-key cache (this process has seen this exact fault
+    // set before); a "canonical" hit exists only because of the
+    // Aut(S_n)-canonical key. Store hits additionally count disk reads
+    // that repopulated the LRU.
+    oracle_literal_hit: star_obs::Counter,
+    oracle_canonical_hit: star_obs::Counter,
+    oracle_miss: star_obs::Counter,
+    oracle_store_hit: star_obs::Counter,
     queue_depth: star_obs::Hist,
     lat_embed: star_obs::Hist,
     lat_batch: star_obs::Hist,
@@ -207,6 +225,10 @@ fn obs() -> &'static ServeObs {
         write_errors: star_obs::counter("serve.write_errors"),
         inline_health: star_obs::counter("serve.inline.health"),
         inline_stats: star_obs::counter("serve.inline.stats"),
+        oracle_literal_hit: star_obs::counter("serve.oracle.literal_hit"),
+        oracle_canonical_hit: star_obs::counter("serve.oracle.canonical_hit"),
+        oracle_miss: star_obs::counter("serve.oracle.miss"),
+        oracle_store_hit: star_obs::counter("serve.oracle.store_hit"),
         queue_depth: star_obs::histogram("serve.queue.depth"),
         lat_embed: star_obs::histogram("serve.latency.embed"),
         lat_batch: star_obs::histogram("serve.latency.embed_batch"),
@@ -219,6 +241,13 @@ fn obs() -> &'static ServeObs {
 struct Ctx {
     queue: BoundedQueue<Job>,
     cache: ResultCache,
+    /// Shared canonicalizer (memoized): the single source of truth for
+    /// cache/store keys, and the literal-vs-canonical hit classifier.
+    canon: Canonicalizer,
+    /// Persistent oracle store, when `--oracle-path` is set.
+    store: Option<Arc<Store>>,
+    /// Background store population; taken (and flushed) at drain.
+    write_behind: Mutex<Option<WriteBehind>>,
     obs: &'static ServeObs,
     started: Instant,
     default_deadline: Option<Duration>,
@@ -256,9 +285,22 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
     // First requests should not pay for the Lemma-4 oracle build.
     star_ring::oracle::warm();
 
+    let store = match &config.oracle_path {
+        Some(path) => {
+            Some(Arc::new(Store::open(path).map_err(|e| {
+                format!("oracle store {}: {e}", path.display())
+            })?))
+        }
+        None => None,
+    };
+    let write_behind = store.as_ref().map(|s| WriteBehind::start(Arc::clone(s)));
+
     let ctx = Arc::new(Ctx {
         queue: BoundedQueue::new(config.queue_capacity),
         cache: ResultCache::with_budget(config.cache_bytes),
+        canon: Canonicalizer::default(),
+        store,
+        write_behind: Mutex::new(write_behind),
         obs: obs(),
         started: Instant::now(),
         default_deadline: config.default_deadline_ms.map(Duration::from_millis),
@@ -288,6 +330,16 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
             None => String::new(),
         }
     );
+    if let Some(store) = &ctx.store {
+        let st = store.stats();
+        eprintln!(
+            "star-serve: oracle store at {} — {} records in {} segments ({} KiB)",
+            store.dir().display(),
+            st.records,
+            st.segments,
+            st.bytes >> 10,
+        );
+    }
 
     let worker_handles: Vec<_> = (0..workers)
         .map(|i| {
@@ -335,6 +387,24 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
     let waited = Instant::now();
     while ctx.active_conns.load(Ordering::SeqCst) > 0 && waited.elapsed() < Duration::from_secs(2) {
         std::thread::sleep(Duration::from_millis(20));
+    }
+    // Flush the oracle write-behind queue before reporting: a graceful
+    // drain persists every accepted embed.
+    if let Some(wb) = ctx
+        .write_behind
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+    {
+        wb.shutdown();
+        if let Some(store) = &ctx.store {
+            let st = store.stats();
+            eprintln!(
+                "star-serve: oracle store flushed — {} records ({} KiB)",
+                st.records,
+                st.bytes >> 10
+            );
+        }
     }
     if star_obs::flightrec::enabled() && star_obs::flightrec::recorded_total() > 0 {
         let path = star_obs::flightrec::dump_path();
@@ -521,6 +591,31 @@ fn reject_response(job: &Job, code: ErrorCode, message: &str) -> Json {
 
 fn stats_response(ctx: &Ctx, id: Option<&str>) -> Json {
     let cache = ctx.cache.stats();
+    let mut oracle_members = vec![
+        (
+            "literal_hits".to_string(),
+            Json::from(ctx.obs.oracle_literal_hit.get()),
+        ),
+        (
+            "canonical_hits".to_string(),
+            Json::from(ctx.obs.oracle_canonical_hit.get()),
+        ),
+        ("misses".to_string(), Json::from(ctx.obs.oracle_miss.get())),
+    ];
+    if let Some(store) = &ctx.store {
+        let st = store.stats();
+        oracle_members.push((
+            "store".to_string(),
+            Json::Obj(vec![
+                ("records".to_string(), Json::from(st.records)),
+                ("segments".to_string(), Json::from(st.segments)),
+                ("bytes".to_string(), Json::from(st.bytes)),
+                ("hits".to_string(), Json::from(st.hits)),
+                ("misses".to_string(), Json::from(st.misses)),
+                ("corrupt".to_string(), Json::from(st.corrupt)),
+            ]),
+        ));
+    }
     ok_response(
         id,
         "stats",
@@ -567,6 +662,7 @@ fn stats_response(ctx: &Ctx, id: Option<&str>) -> Json {
                     ),
                 ]),
             ),
+            ("oracle".to_string(), Json::Obj(oracle_members)),
         ],
     )
 }
@@ -689,21 +785,97 @@ fn observe_slo(ctx: &Ctx, job: &Job, deadline_miss: bool, timing: &ServerTiming)
     }
 }
 
-/// Embeds one scenario through the cache; returns `(ring, cached)` or
-/// the embedder's error message.
+/// Canonicalizes a scenario's vertex fault set through the shared
+/// [`Canonicalizer`]; the `bool` is the memo's literal-repeat flag.
+fn canonicalize_scenario(ctx: &Ctx, n: usize, faults: &star_fault::FaultSet) -> (Arc<Canon>, bool) {
+    let ranks: Vec<u32> = faults.vertices().iter().map(Perm::rank).collect();
+    ctx.canon.canonicalize(n, &ranks)
+}
+
+/// Maps a canonical-frame ring back to the caller's frame through the
+/// witness inverse (free when the witness is the identity).
+fn map_back(ring_c: Arc<[Perm]>, canon: &Canon) -> Arc<[Perm]> {
+    if canon.witness().is_identity() {
+        ring_c
+    } else {
+        Arc::from(map_ring(&ring_c, &canon.witness().inverse()))
+    }
+}
+
+/// Maps a caller-frame ring into the canonical frame for storage.
+fn map_to_canonical(ring: &Arc<[Perm]>, canon: &Canon) -> Arc<[Perm]> {
+    if canon.witness().is_identity() {
+        Arc::clone(ring)
+    } else {
+        Arc::from(map_ring(ring, canon.witness()))
+    }
+}
+
+/// Classifies a cache/store hit as literal (this exact fault set was
+/// requested before — the old literal-key cache would also have hit) or
+/// canonical (the hit exists only because of automorphism collapsing).
+fn classify_hit(ctx: &Ctx, literal_repeat: bool) {
+    if literal_repeat {
+        ctx.obs.oracle_literal_hit.incr(1);
+    } else {
+        ctx.obs.oracle_canonical_hit.incr(1);
+    }
+    if star_obs::flightrec::enabled() {
+        star_obs::flightrec::record(
+            "serve.oracle.hit",
+            if literal_repeat {
+                "literal"
+            } else {
+                "canonical"
+            },
+            &[],
+        );
+    }
+}
+
+/// Hands a freshly embedded canonical-frame ring to the write-behind
+/// worker (no-op without `--oracle-path`).
+fn persist_behind(ctx: &Ctx, key: &CacheKey, ring_c: &Arc<[Perm]>) {
+    if ctx.store.is_none() {
+        return;
+    }
+    let wb = ctx.write_behind.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(wb) = wb.as_ref() {
+        wb.submit(key.clone(), Arc::new(ring_c.to_vec()));
+    }
+}
+
+/// Embeds one scenario through the canonical oracle: LRU first, then the
+/// disk store, then a fresh embed (cached and written behind in the
+/// canonical frame). Returns `(caller-frame ring, cached)` or the
+/// embedder's error message.
 fn embed_cached(
     ctx: &Ctx,
     n: usize,
     faults: &star_fault::FaultSet,
     options: &EmbedOptions,
-) -> Result<(Arc<[star_perm::Perm]>, bool), String> {
-    let key = CacheKey::new(n, faults, options);
-    if let Some(ring) = ctx.cache.get(&key) {
-        return Ok((ring, true));
+) -> Result<(Arc<[Perm]>, bool), String> {
+    let (canon, literal_repeat) = canonicalize_scenario(ctx, n, faults);
+    let key = key_for(&canon, options);
+    if let Some(ring_c) = ctx.cache.get(&key) {
+        classify_hit(ctx, literal_repeat);
+        return Ok((map_back(ring_c, &canon), true));
     }
+    if let Some(store) = &ctx.store {
+        if let Some(ring_vec) = store.get(&key) {
+            let ring_c: Arc<[Perm]> = Arc::from(ring_vec);
+            ctx.cache.insert(key.clone(), Arc::clone(&ring_c));
+            ctx.obs.oracle_store_hit.incr(1);
+            classify_hit(ctx, literal_repeat);
+            return Ok((map_back(ring_c, &canon), true));
+        }
+    }
+    ctx.obs.oracle_miss.incr(1);
     let ring = embed_with_options(n, faults, options).map_err(|e| e.to_string())?;
-    let ring: Arc<[star_perm::Perm]> = Arc::from(ring.vertices().to_vec());
-    ctx.cache.insert(key, Arc::clone(&ring));
+    let ring: Arc<[Perm]> = Arc::from(ring.into_vertices());
+    let ring_c = map_to_canonical(&ring, &canon);
+    ctx.cache.insert(key.clone(), Arc::clone(&ring_c));
+    persist_behind(ctx, &key, &ring_c);
     Ok((ring, false))
 }
 
@@ -811,29 +983,42 @@ fn serve_batch(
         Bad(String),
     }
     let mut misses: Vec<star_fault::FaultSet> = Vec::new();
+    let mut miss_canon: Vec<Arc<Canon>> = Vec::new();
     let mut slots: Vec<Slot> = scenarios
         .iter()
         .map(|scenario| match scenario {
             Err(msg) => Slot::Bad(msg.clone()),
             Ok(faults) => {
-                let key = CacheKey::new(n, faults, options);
-                match ctx.cache.get(&key) {
-                    Some(ring) => Slot::Ready(ring, true),
-                    None => {
-                        misses.push(faults.clone());
-                        Slot::Pending(misses.len() - 1)
+                let (canon, literal_repeat) = canonicalize_scenario(ctx, n, faults);
+                let key = key_for(&canon, options);
+                if let Some(ring_c) = ctx.cache.get(&key) {
+                    classify_hit(ctx, literal_repeat);
+                    return Slot::Ready(map_back(ring_c, &canon), true);
+                }
+                if let Some(store) = &ctx.store {
+                    if let Some(ring_vec) = store.get(&key) {
+                        let ring_c: Arc<[Perm]> = Arc::from(ring_vec);
+                        ctx.cache.insert(key, Arc::clone(&ring_c));
+                        ctx.obs.oracle_store_hit.incr(1);
+                        classify_hit(ctx, literal_repeat);
+                        return Slot::Ready(map_back(ring_c, &canon), true);
                     }
                 }
+                ctx.obs.oracle_miss.incr(1);
+                misses.push(faults.clone());
+                miss_canon.push(canon);
+                Slot::Pending(misses.len() - 1)
             }
         })
         .collect();
     let embedded = embed_many_with_options(n, &misses, options);
-    for (faults, result) in misses.iter().zip(&embedded) {
+    for (canon, result) in miss_canon.iter().zip(&embedded) {
         if let Ok(ring) = result {
-            ctx.cache.insert(
-                CacheKey::new(n, faults, options),
-                Arc::from(ring.vertices().to_vec()),
-            );
+            let ring: Arc<[Perm]> = Arc::from(ring.vertices().to_vec());
+            let ring_c = map_to_canonical(&ring, canon);
+            let key = key_for(canon, options);
+            ctx.cache.insert(key.clone(), Arc::clone(&ring_c));
+            persist_behind(ctx, &key, &ring_c);
         }
     }
     timing.embed_us = micros(embed_start.elapsed());

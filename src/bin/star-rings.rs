@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("obs-overhead") => cmd_obs_overhead(&args[1..]),
+        Some("oracle") => cmd_oracle(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             Ok(())
@@ -130,6 +131,9 @@ fn usage() {
          \x20                         over a 10s window (default 0.01)\n\
          \x20     --slo-dump <f>      dump file for SLO breaches (default: the\n\
          \x20                         flight recorder's dump path)\n\
+         \x20     --oracle-path <d>   persistent oracle store directory: canonical\n\
+         \x20                         lookups fall through the LRU to disk, and\n\
+         \x20                         fresh embeds are persisted (write-behind)\n\
          \x20 star-rings loadgen [OPTIONS]                load generator\n\
          \x20     --addr <host:port>  server to drive (default 127.0.0.1:7411)\n\
          \x20     --conns <c>         concurrent connections (default 4)\n\
@@ -137,7 +141,11 @@ fn usage() {
          \x20                         (default 0 = unthrottled; required for the\n\
          \x20                         open-loop arrival modes)\n\
          \x20     --duration <secs>   run length (default 5)\n\
-         \x20     --mix <m>           embed | cached | mixed (default mixed)\n\
+         \x20     --mix <m>           embed | cached | mixed | automorphic (default\n\
+         \x20                         mixed); automorphic samples Aut(S_n) orbits\n\
+         \x20                         of seeded base scenarios — literal fault\n\
+         \x20                         lists almost never repeat, so cache hits\n\
+         \x20                         require the oracle's canonical key\n\
          \x20     --arrivals <a>      closed | poisson | burst (default closed).\n\
          \x20                         closed measures service time and understates\n\
          \x20                         tails under queueing (coordinated omission);\n\
@@ -178,6 +186,19 @@ fn usage() {
          \x20     --samples <k>       sample pairs (default 15)\n\
          \x20     --max-pct <p>       failure bound on median overhead in percent\n\
          \x20                         (default 5)\n\
+         \x20 star-rings oracle warm [OPTIONS]            pre-populate an oracle store\n\
+         \x20                                             with canonical-frame rings for\n\
+         \x20                                             seeded scenarios (shippable:\n\
+         \x20                                             copy the directory to servers)\n\
+         \x20     --path <d>          store directory (required)\n\
+         \x20     --n <n>             max dimension to warm, 4..=<n> (default 7)\n\
+         \x20     --count <k>         scenarios per dimension (default 32)\n\
+         \x20     --seed <s>          scenario RNG seed (default 0)\n\
+         \x20 star-rings oracle stats --path <d>          store record/segment/byte counts\n\
+         \x20 star-rings oracle verify --path <d> [--limit <k>]\n\
+         \x20                                             re-check stored rings against\n\
+         \x20                                             check_ring at n! - 2|F_v|;\n\
+         \x20                                             exits nonzero on any failure\n\
          \n\
          Permutations are written as digit strings for n <= 9 (e.g. 321456)\n\
          and dot-separated otherwise (e.g. 10.2.3.1...)."
@@ -721,6 +742,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.default_deadline_ms = Some(ms);
             }
             "--verify" => config.verify_responses = true,
+            "--oracle-path" => {
+                i += 1;
+                config.oracle_path = Some(std::path::PathBuf::from(
+                    args.get(i).ok_or("--oracle-path needs a directory")?,
+                ));
+            }
             "--flightrec" => flightrec = true,
             "--flightrec-out" => {
                 i += 1;
@@ -943,8 +970,17 @@ fn cmd_obs_overhead(args: &[String]) -> Result<(), String> {
     }
     let faults =
         gen::random_vertex_faults(n, n.saturating_sub(3), 0xB0B).map_err(|e| e.to_string())?;
+    // The serving path canonicalizes every request before embedding, so
+    // the probe does too — in BOTH arms (compute parity; the memo makes
+    // repeats cheap either way). With the flight recorder enabled, the
+    // canonicalizer's own `oracle.canon` events and counters are part of
+    // the overhead under measurement, exactly as in a traced server.
+    let canonicalizer = star_rings::oracle::Canonicalizer::default();
+    let fault_ranks: Vec<u32> = faults.vertices().iter().map(Perm::rank).collect();
     let embed_once = |faults: &FaultSet| -> Result<std::time::Duration, String> {
         let t0 = std::time::Instant::now();
+        let canon = canonicalizer.canonicalize(n, &fault_ranks);
+        std::hint::black_box(canon.0.ranks().len());
         let ring = embed_longest_ring(n, faults).map_err(|e| e.to_string())?;
         let dt = t0.elapsed();
         std::hint::black_box(ring.len());
@@ -995,6 +1031,190 @@ fn cmd_obs_overhead(args: &[String]) -> Result<(), String> {
     if overhead_pct > max_pct {
         return Err(format!(
             "tracing overhead {overhead_pct:.2}% exceeds the {max_pct}% bound"
+        ));
+    }
+    Ok(())
+}
+
+/// `oracle warm|stats|verify`: manage a persistent canonical embedding
+/// store (see the `star-oracle` crate). `warm` embeds seeded scenarios
+/// **in their canonical frame** and appends them, producing a directory
+/// that can be shipped to servers and mounted with `serve
+/// --oracle-path`; `stats` prints store counters; `verify` re-checks
+/// every stored ring against `check_ring` at `n! - 2|F_v|`.
+fn cmd_oracle(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("warm") => cmd_oracle_warm(&args[1..]),
+        Some("stats") => cmd_oracle_stats(&args[1..]),
+        Some("verify") => cmd_oracle_verify(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown oracle subcommand `{other}` (warm|stats|verify)"
+        )),
+        None => Err("oracle needs a subcommand: warm | stats | verify".to_string()),
+    }
+}
+
+/// Pulls the required `--path <dir>` plus any extra flags a subcommand
+/// declares; unknown flags error.
+fn parse_oracle_flags(
+    args: &[String],
+    mut extra: impl FnMut(&str, &str) -> Result<bool, String>,
+) -> Result<std::path::PathBuf, String> {
+    let mut path: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--path" {
+            i += 1;
+            path = Some(std::path::PathBuf::from(
+                args.get(i).ok_or("--path needs a directory")?,
+            ));
+        } else {
+            let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+            if extra(flag, value)? {
+                i += 1;
+            } else {
+                return Err(format!("unknown option `{flag}`"));
+            }
+        }
+        i += 1;
+    }
+    path.ok_or("--path <dir> is required".to_string())
+}
+
+fn cmd_oracle_warm(args: &[String]) -> Result<(), String> {
+    let mut max_n = 7usize;
+    let mut count = 32usize;
+    let mut seed = 0u64;
+    let path = parse_oracle_flags(args, |flag, value| match flag {
+        "--n" => {
+            max_n = value
+                .parse()
+                .map_err(|_| "--n must be an integer".to_string())?;
+            if !(4..=9).contains(&max_n) {
+                return Err("--n must be in 4..=9".to_string());
+            }
+            Ok(true)
+        }
+        "--count" => {
+            count = value
+                .parse()
+                .map_err(|_| "--count must be an integer".to_string())?;
+            if count == 0 {
+                return Err("--count must be at least 1".to_string());
+            }
+            Ok(true)
+        }
+        "--seed" => {
+            seed = value
+                .parse()
+                .map_err(|_| "--seed must be an integer".to_string())?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    let store = star_rings::oracle::Store::open(&path)
+        .map_err(|e| format!("oracle store {}: {e}", path.display()))?;
+    let t0 = std::time::Instant::now();
+    let mut written = 0usize;
+    let mut skipped = 0usize;
+    for n in 4..=max_n {
+        let budget = n.saturating_sub(3);
+        let mut batch: Vec<(star_rings::oracle::OracleKey, Vec<u64>)> = Vec::new();
+        for i in 0..count {
+            // Cycle the fault budget so the store covers every |F_v|;
+            // each scenario gets its own derived seed.
+            let k = i % (budget + 1);
+            let faults = gen::random_vertex_faults(n, k, seed ^ (n as u64) << 32 ^ i as u64)
+                .map_err(|e| e.to_string())?;
+            let ranks: Vec<u32> = faults.vertices().iter().map(Perm::rank).collect();
+            let canon = star_rings::oracle::canonicalize(n, &ranks);
+            let key = star_rings::oracle::OracleKey::new(&canon, 0, 0);
+            if store.contains(&key) || batch.iter().any(|(k, _)| *k == key) {
+                // Orbit-mates collapse onto one canonical record.
+                skipped += 1;
+                continue;
+            }
+            // Embed the canonical scenario directly: the stored ring is
+            // already in the canonical frame, ready for witness map-back.
+            let canon_faults = FaultSet::from_vertices(
+                n,
+                canon
+                    .ranks()
+                    .iter()
+                    .map(|&r| Perm::unrank(n, r).expect("canonical ranks are valid"))
+                    .collect::<Vec<_>>(),
+            )
+            .map_err(|e| e.to_string())?;
+            let ring = embed_longest_ring(n, &canon_faults).map_err(|e| e.to_string())?;
+            batch.push((key, star_rings::oracle::pack_ring(&ring.into_vertices())));
+        }
+        written += store
+            .append_batch(&batch)
+            .map_err(|e| format!("append n={n}: {e}"))?;
+    }
+    let stats = store.stats();
+    println!(
+        "oracle warm: {written} canonical records written, {skipped} orbit duplicates skipped \
+         ({:.2}s)\noracle warm: store now holds {} records in {} segments ({} KiB) at {}",
+        t0.elapsed().as_secs_f64(),
+        stats.records,
+        stats.segments,
+        stats.bytes >> 10,
+        path.display(),
+    );
+    Ok(())
+}
+
+fn cmd_oracle_stats(args: &[String]) -> Result<(), String> {
+    let path = parse_oracle_flags(args, |_, _| Ok(false))?;
+    let store = star_rings::oracle::Store::open(&path)
+        .map_err(|e| format!("oracle store {}: {e}", path.display()))?;
+    let stats = store.stats();
+    println!(
+        "oracle store {}\n\
+         \x20 records:  {}\n\
+         \x20 segments: {}\n\
+         \x20 bytes:    {}\n\
+         \x20 corrupt:  {}",
+        path.display(),
+        stats.records,
+        stats.segments,
+        stats.bytes,
+        stats.corrupt,
+    );
+    Ok(())
+}
+
+fn cmd_oracle_verify(args: &[String]) -> Result<(), String> {
+    let mut limit = 0usize;
+    let path = parse_oracle_flags(args, |flag, value| match flag {
+        "--limit" => {
+            limit = value
+                .parse()
+                .map_err(|_| "--limit must be an integer (0 = all)".to_string())?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    let store = star_rings::oracle::Store::open(&path)
+        .map_err(|e| format!("oracle store {}: {e}", path.display()))?;
+    let t0 = std::time::Instant::now();
+    let report = store.verify(limit);
+    println!(
+        "oracle verify: {} records checked, {} ok ({:.2}s)",
+        report.checked,
+        report.ok,
+        t0.elapsed().as_secs_f64(),
+    );
+    for failure in &report.failures {
+        eprintln!("oracle verify: FAIL {failure}");
+    }
+    if !report.all_ok() {
+        return Err(format!(
+            "{} of {} stored rings failed verification",
+            report.failures.len(),
+            report.checked
         ));
     }
     Ok(())

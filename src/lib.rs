@@ -27,6 +27,10 @@
 //!   length-prefixed JSON protocol, bounded request queue, sharded LRU
 //!   result cache, and a closed-loop load generator (`star-rings serve` /
 //!   `star-rings loadgen`).
+//! - [`oracle`] — the symmetry-canonical embedding oracle: an
+//!   `Aut(S_n)`-canonicalizer that folds fault scenarios onto orbit
+//!   representatives, plus a crash-safe disk store of canonical rings
+//!   (`star-rings oracle warm|stats|verify`, `serve --oracle-path`).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@ pub use star_bench as bench;
 pub use star_fault as fault;
 pub use star_graph as graph;
 pub use star_obs as obs;
+pub use star_oracle as oracle;
 pub use star_perm as perm;
 pub use star_pool as pool;
 pub use star_ring as ring;
