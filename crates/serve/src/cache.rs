@@ -8,16 +8,21 @@
 //! fault sets differ only by a star-graph automorphism share one entry
 //! (the ring is stored in the canonical frame; the serve path maps it
 //! back through the witness automorphism on hit). Values are
-//! `Arc<[Perm]>` rings; a hit costs one shard mutex plus an `Arc` clone.
+//! `Arc<RingDelta>` generator-delta encodings — one packed start vertex
+//! plus a nibble per step (~½ byte/vertex instead of the 16 bytes an
+//! expanded `Perm` costs resident, ~32× smaller) — so the same byte
+//! budget holds ~32× more scenarios, and a v2 streamed response can be
+//! chunked straight off the cached value. A hit costs one shard mutex
+//! plus an `Arc` clone.
 //!
 //! **Sharding.** Keys map to one of [`SHARDS`] independent
 //! mutex-protected LRU lists by hash, so concurrent workers only contend
 //! when they touch the same shard — with 16 shards and the default 4-8
 //! workers, collisions are rare. The byte budget divides evenly across
-//! shards; per-entry cost is accounted as `ring length × size_of::<Perm>`
-//! plus key and bookkeeping overhead, and each shard evicts from its own
-//! LRU tail when over budget. An entry larger than a shard's whole
-//! budget is simply not admitted.
+//! shards; per-entry cost is accounted as the delta's heap bytes
+//! (`~(len-1)/2`) plus key and bookkeeping overhead, and each shard
+//! evicts from its own LRU tail when over budget. An entry larger than a
+//! shard's whole budget is simply not admitted.
 //!
 //! **Metrics.** `serve.cache.hit` / `serve.cache.miss` /
 //! `serve.cache.insert` / `serve.cache.evict` /
@@ -33,8 +38,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use star_oracle::Canon;
-use star_perm::Perm;
 use star_ring::EmbedOptions;
+
+use crate::proto::RingDelta;
 
 /// Number of independent LRU shards.
 pub const SHARDS: usize = 16;
@@ -79,10 +85,29 @@ const NIL: usize = usize::MAX;
 
 struct Entry {
     key: CacheKey,
-    value: Arc<[Perm]>,
+    value: Arc<RingDelta>,
     bytes: usize,
     prev: usize,
     next: usize,
+}
+
+/// Bytes accounted to one resident entry: key heap, delta inline +
+/// heap, list bookkeeping.
+fn entry_cost(key: &CacheKey, value: &RingDelta) -> usize {
+    key.bytes()
+        + std::mem::size_of::<RingDelta>()
+        + value.heap_bytes()
+        + std::mem::size_of::<Entry>()
+}
+
+/// The value slot an evicted entry's `Arc` is swapped out for (the slab
+/// index is reused; a real delta always has `len >= 1`, so a shared
+/// 1-vertex sentinel costs nothing per eviction).
+fn tombstone() -> Arc<RingDelta> {
+    static TOMB: OnceLock<Arc<RingDelta>> = OnceLock::new();
+    Arc::clone(TOMB.get_or_init(|| {
+        Arc::new(RingDelta::from_parts(1, 1, 0x1, Vec::new()).expect("sentinel delta is valid"))
+    }))
 }
 
 /// One shard: a slab of entries threaded into a doubly-linked recency
@@ -134,7 +159,7 @@ impl Shard {
         self.head = i;
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<Arc<[Perm]>> {
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<RingDelta>> {
         let i = *self.map.get(key)?;
         self.unlink(i);
         self.push_front(i);
@@ -142,9 +167,8 @@ impl Shard {
     }
 
     /// Inserts (or refreshes) an entry; reports what happened.
-    fn insert(&mut self, key: CacheKey, value: Arc<[Perm]>) -> Admission {
-        let bytes =
-            key.bytes() + value.len() * std::mem::size_of::<Perm>() + std::mem::size_of::<Entry>();
+    fn insert(&mut self, key: CacheKey, value: Arc<RingDelta>) -> Admission {
+        let bytes = entry_cost(&key, &value);
         if bytes > self.budget {
             // Larger than the whole shard: not admissible. (Exactly at
             // budget is admitted — it fills the shard alone.)
@@ -188,7 +212,7 @@ impl Shard {
             self.bytes -= self.slab[victim].bytes;
             let key = self.slab[victim].key.clone();
             self.map.remove(&key);
-            self.slab[victim].value = Arc::from(Vec::new());
+            self.slab[victim].value = tombstone();
             self.free.push(victim);
             evicted += 1;
         }
@@ -253,8 +277,8 @@ impl ResultCache {
             .unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Looks up a ring, refreshing its recency on hit.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<[Perm]>> {
+    /// Looks up a ring delta, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<RingDelta>> {
         let found = self.shard(key).get(key);
         match &found {
             Some(_) => {
@@ -269,10 +293,9 @@ impl ResultCache {
         found
     }
 
-    /// Inserts a freshly-embedded ring.
-    pub fn insert(&self, key: CacheKey, value: Arc<[Perm]>) {
-        let entry_bytes =
-            key.bytes() + value.len() * std::mem::size_of::<Perm>() + std::mem::size_of::<Entry>();
+    /// Inserts a freshly-embedded ring's delta encoding.
+    pub fn insert(&self, key: CacheKey, value: Arc<RingDelta>) {
+        let entry_bytes = entry_cost(&key, &value);
         match self.shard(&key).insert(key, value) {
             Admission::Admitted { evicted } => {
                 obs().insert.incr(1);
@@ -318,6 +341,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use star_perm::{packed::PackedPerm, Perm};
 
     fn key(n: usize, fault_digits: &[u64], salt: usize) -> CacheKey {
         let ranks: Vec<u32> = fault_digits
@@ -332,8 +356,16 @@ mod tests {
         key_for(&canon, &opts)
     }
 
-    fn ring(len: usize) -> Arc<[Perm]> {
-        (0..len).map(|_| Perm::identity(5)).collect()
+    /// A valid `len`-vertex delta at n=5 (a walk, not necessarily a
+    /// ring — the cache stores what the codec accepts).
+    fn ring(len: usize) -> Arc<RingDelta> {
+        let start = PackedPerm::from_perm(&Perm::identity(5));
+        let steps = len - 1;
+        let mut dims = vec![0u8; steps.div_ceil(2)];
+        for (i, d) in dims.iter_mut().enumerate().take(steps.div_ceil(2)) {
+            *d = if 2 * i + 1 < steps { 0x21 } else { 0x01 };
+        }
+        Arc::new(RingDelta::from_parts(5, len as u32, start.bits(), dims).expect("valid walk"))
     }
 
     #[test]
@@ -372,7 +404,10 @@ mod tests {
         assert_eq!(got.len(), 118);
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
-        assert!(st.bytes > 118 * std::mem::size_of::<Perm>());
+        assert_eq!(st.bytes, entry_cost(&k, &got));
+        // The delta encoding stays far below the expanded ring's
+        // resident size (118 × 16 B) — the point of caching deltas.
+        assert!(got.heap_bytes() < 118 * std::mem::size_of::<Perm>() / 20);
     }
 
     #[test]
@@ -380,7 +415,7 @@ mod tests {
         // Budget for ~3 entries per shard; all keys forced into one shard
         // by using one key-shape and brute-forcing... instead, use a tiny
         // total budget and enough inserts that every shard overflows.
-        let per_entry = 120 * std::mem::size_of::<Perm>();
+        let per_entry = entry_cost(&key(5, &[], 0), &ring(120));
         let cache = ResultCache::with_budget(SHARDS * 3 * per_entry);
         let keys: Vec<CacheKey> = (0..SHARDS * 40).map(|i| key(5, &[], i)).collect();
         for k in &keys {
@@ -428,10 +463,6 @@ mod tests {
         assert_eq!(st.oversize_rejects, 1, "rejection must be counted");
     }
 
-    fn entry_bytes(k: &CacheKey, len: usize) -> usize {
-        k.bytes() + len * std::mem::size_of::<Perm>() + std::mem::size_of::<Entry>()
-    }
-
     #[test]
     fn zero_budget_rejects_everything_and_counts_it() {
         let cache = ResultCache::with_budget(0);
@@ -452,7 +483,7 @@ mod tests {
     #[test]
     fn exactly_at_budget_is_admitted_one_below_is_not() {
         let k = key(5, &[], 0);
-        let bytes = entry_bytes(&k, 8);
+        let bytes = entry_cost(&k, &ring(8));
 
         // An entry exactly the shard budget fills the shard alone.
         let mut exact = Shard::new(bytes);

@@ -11,11 +11,21 @@ use std::time::Duration;
 
 use star_bench::jsonv::Json;
 
-use crate::proto::{read_frame, write_frame, FrameRead};
+use crate::proto::{is_binary_frame, read_frame, write_frame, ChunkFrame, FrameRead};
 
 /// A blocking connection to a star-serve instance.
 pub struct Client {
     stream: TcpStream,
+}
+
+/// One received frame, already classified: protocol v1 responses are
+/// JSON documents; negotiated-v2 embed responses follow their JSON
+/// header with binary chunks.
+pub enum Received {
+    /// A JSON frame (every v1 frame; v2 headers and errors).
+    Doc(Json),
+    /// A parsed binary ring chunk.
+    Chunk(ChunkFrame),
 }
 
 impl Client {
@@ -82,10 +92,75 @@ impl Client {
         }
     }
 
+    /// Reads the next frame of either kind: a JSON document or a binary
+    /// v2 chunk.
+    pub fn recv_any(&mut self, patience: Duration) -> Result<Received, String> {
+        let start = std::time::Instant::now();
+        loop {
+            match read_frame(&mut self.stream) {
+                Ok(FrameRead::Frame(bytes)) => {
+                    if is_binary_frame(&bytes) {
+                        return ChunkFrame::parse(&bytes).map(Received::Chunk);
+                    }
+                    let text = std::str::from_utf8(&bytes)
+                        .map_err(|e| format!("response not UTF-8: {e}"))?;
+                    return Json::parse(text)
+                        .map(Received::Doc)
+                        .map_err(|e| format!("response not JSON: {e}"));
+                }
+                Ok(FrameRead::Idle) => {
+                    if start.elapsed() > patience {
+                        return Err("timed out waiting for response".to_string());
+                    }
+                }
+                Ok(FrameRead::Eof) => return Err("server closed the connection".to_string()),
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+
     /// One synchronous round trip.
     pub fn call(&mut self, request: &Json) -> Result<Json, String> {
         self.send(request)?;
         self.recv(Duration::from_secs(30))
+    }
+
+    /// One round trip that may answer with a v2 stream: the JSON header
+    /// (or plain/error response) is returned, and every binary chunk is
+    /// handed to `sink` as it arrives — the ring is never materialized
+    /// here. When the server answered with ordinary JSON (v1 fallback,
+    /// errors, or a v2 response without a ring), `sink` is simply never
+    /// called. Requests must not be pipelined around a streaming call:
+    /// chunk frames carry no correlation id.
+    pub fn call_streaming(
+        &mut self,
+        request: &Json,
+        patience: Duration,
+        sink: &mut dyn FnMut(ChunkFrame) -> Result<(), String>,
+    ) -> Result<Json, String> {
+        self.send(request)?;
+        let header = match self.recv_any(patience)? {
+            Received::Doc(doc) => doc,
+            Received::Chunk(_) => return Err("chunk frame before the stream header".to_string()),
+        };
+        let streamed = header.get("encoding").and_then(Json::as_str) == Some("delta-v2");
+        if !streamed {
+            return Ok(header);
+        }
+        loop {
+            match self.recv_any(patience)? {
+                Received::Chunk(chunk) => {
+                    let last = chunk.last;
+                    sink(chunk)?;
+                    if last {
+                        return Ok(header);
+                    }
+                }
+                Received::Doc(_) => {
+                    return Err("JSON frame inside a v2 chunk stream".to_string());
+                }
+            }
+        }
     }
 
     /// Sends raw bytes as a frame — for tests that need to violate the
@@ -147,6 +222,29 @@ pub fn with_trace_id(mut request: Json, trace_id: u128) -> Json {
             "trace_id".to_string(),
             Json::from(star_obs::format_trace(trace_id)),
         ));
+    }
+    request
+}
+
+/// Asks for the full ring in the response (streamed under v2).
+pub fn with_return_ring(mut request: Json) -> Json {
+    if let Json::Obj(members) = &mut request {
+        members.push(("return_ring".to_string(), Json::Bool(true)));
+    }
+    request
+}
+
+/// Marks a request as negotiating wire protocol v2, optionally resuming
+/// from `cursor` with a preferred vertices-per-chunk granularity.
+pub fn with_proto_v2(mut request: Json, cursor: u64, chunk_vertices: Option<u32>) -> Json {
+    if let Json::Obj(members) = &mut request {
+        members.push(("proto".to_string(), Json::from(2u64)));
+        if cursor > 0 {
+            members.push(("cursor".to_string(), Json::from(cursor)));
+        }
+        if let Some(k) = chunk_vertices {
+            members.push(("chunk_vertices".to_string(), Json::from(k as u64)));
+        }
     }
     request
 }

@@ -57,7 +57,11 @@ use star_bench::jsonv::Json;
 use star_obs::LocalHistogram;
 use star_perm::{Aut, Perm};
 
-use crate::client::{certified_embed_request, embed_request, plain_request, with_trace_id, Client};
+use crate::client::{
+    certified_embed_request, embed_request, plain_request, with_proto_v2, with_return_ring,
+    with_trace_id, Client,
+};
+use crate::stream::fetch_verified;
 
 /// Load-generator configuration (the CLI's `loadgen` flags).
 #[derive(Debug, Clone)]
@@ -78,10 +82,19 @@ pub struct LoadgenConfig {
     pub arrivals: Arrivals,
     /// RNG seed (per-connection streams derive from it).
     pub seed: u64,
+    /// Wire protocol for embed requests: `v1` (JSON responses, the
+    /// default), `v2` (negotiate streamed generator-delta rings and
+    /// verify every chunk incrementally), or `mixed` (per-request coin
+    /// flip — exercises a server answering both on interleaved
+    /// connections). Closed-loop only: chunk frames carry no
+    /// correlation id for the open-loop receiver to match.
+    pub proto: WireProto,
     /// Audit mode (`--verify`): request a STARRING-CERT certificate on
     /// every embed and re-verify it client-side (full re-derivation via
     /// `star_verify::certificate::verify_certificate`, plus a cross-check
-    /// of the summary against what was requested).
+    /// of the summary against what was requested). Under proto v2 the
+    /// response carries only the certificate checksum; verification is
+    /// the incremental stream check against it.
     pub verify: bool,
     /// Per-request JSONL output (`--trace-out`): one line per request
     /// with its trace id, scheduled send offset, latency, outcome, and
@@ -99,6 +112,7 @@ impl Default for LoadgenConfig {
             mix: Mix::Mixed,
             arrivals: Arrivals::Closed,
             seed: 0x5eed,
+            proto: WireProto::V1,
             verify: false,
             trace_out: None,
         }
@@ -146,6 +160,42 @@ impl Mix {
             Mix::Cached => "cached",
             Mix::Mixed => "mixed",
             Mix::Automorphic => "automorphic",
+        }
+    }
+}
+
+/// Wire protocol selection for embed requests (`--proto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireProto {
+    /// Protocol v1: every response is one JSON frame.
+    V1,
+    /// Negotiate v2 on every embed: ask for the ring back as a
+    /// generator-delta chunk stream and verify it incrementally
+    /// (adjacency, fault avoidance, uniqueness, and — with `--verify` —
+    /// the STARRING-CERT checksum) without ever materializing it.
+    V2,
+    /// Per-request coin flip between v1 and v2 on each connection's RNG
+    /// stream — exercises a server answering both protocols on
+    /// interleaved connections.
+    Mixed,
+}
+
+impl WireProto {
+    /// Parses a `--proto` value.
+    pub fn parse(s: &str) -> Result<WireProto, String> {
+        match s {
+            "v1" => Ok(WireProto::V1),
+            "v2" => Ok(WireProto::V2),
+            "mixed" => Ok(WireProto::Mixed),
+            other => Err(format!("unknown proto `{other}` (v1|v2|mixed)")),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            WireProto::V1 => "v1",
+            WireProto::V2 => "v2",
+            WireProto::Mixed => "mixed",
         }
     }
 }
@@ -276,6 +326,11 @@ pub struct LoadgenReport {
     /// Certificates that were missing, malformed, or disagreed with the
     /// request (a correct server keeps this at 0).
     pub cert_failures: u64,
+    /// Embed responses that arrived as v2 chunk streams and passed
+    /// incremental verification.
+    pub v2_streams: u64,
+    /// Total binary chunks consumed across those streams.
+    pub v2_chunks: u64,
 }
 
 impl LoadgenReport {
@@ -413,6 +468,13 @@ impl LoadgenReport {
                 self.oracle_misses,
             );
         }
+        if self.v2_streams > 0 {
+            let _ = writeln!(
+                out,
+                "loadgen:   v2 ring streams verified {} ({} chunks)",
+                self.v2_streams, self.v2_chunks
+            );
+        }
         if self.certs_checked > 0 || self.cert_failures > 0 {
             let _ = writeln!(
                 out,
@@ -521,6 +583,8 @@ struct ConnTally {
     hist: Option<LocalHistogram>,
     certs_checked: u64,
     cert_failures: u64,
+    v2_streams: u64,
+    v2_chunks: u64,
     trace_lines: Vec<String>,
 }
 
@@ -564,20 +628,21 @@ fn check_certificate(response: &Json, n: usize, fault_count: usize) -> Result<()
 }
 
 /// One request drawn from the mix. Returns the body (without trace id)
-/// and, for embeds, the `(n, fault count)` the certificate check needs.
+/// and, for embeds, the `(n, faults)` that certificate and stream
+/// verification need.
 fn gen_request(
     config: &LoadgenConfig,
     rng: &mut StdRng,
     pool: &[(usize, Vec<String>)],
     id: &str,
-) -> (Json, Option<(usize, usize)>) {
+) -> (Json, Option<(usize, Vec<String>)>) {
     let build_embed = |id: &str, n: usize, faults: &[String]| {
         let body = if config.verify {
             certified_embed_request(id, n, faults, None)
         } else {
             embed_request(id, n, faults, None)
         };
-        (body, Some((n, faults.len())))
+        (body, Some((n, faults.to_vec())))
     };
     match config.mix {
         Mix::Embed => {
@@ -608,6 +673,20 @@ fn gen_request(
             build_embed(id, *n, &faults)
         }
     }
+}
+
+/// Rebuilds an embed request's fault set from its generated string
+/// form — the stream verifier re-checks fault avoidance vertex by
+/// vertex, so it needs the actual faults, not just their count.
+fn fault_set_from(n: usize, faults: &[String]) -> Result<star_fault::FaultSet, String> {
+    let perms: Result<Vec<Perm>, String> = faults
+        .iter()
+        .map(|f| {
+            f.parse::<Perm>()
+                .map_err(|e| format!("bad fault `{f}`: {e}"))
+        })
+        .collect();
+    star_fault::FaultSet::from_vertices(n, perms?).map_err(|e| e.to_string())
 }
 
 /// One `--trace-out` JSONL line.
@@ -670,18 +749,60 @@ fn run_conn(
         let id = format!("c{conn_index}-{req_no}");
         let (request, expected_embed) = gen_request(config, &mut rng, pool, &id);
         let trace = gen_trace_id(&mut rng);
-        let request = with_trace_id(request, trace);
+        let mut request = with_trace_id(request, trace);
+        // Decide the wire protocol for this request. Only embeds
+        // negotiate v2 (health/stats responses never stream); Mixed
+        // draws from the connection's deterministic RNG stream.
+        let use_v2 = expected_embed.is_some()
+            && match config.proto {
+                WireProto::V1 => false,
+                WireProto::V2 => true,
+                WireProto::Mixed => rng.next_u64() & 1 == 1,
+            };
+        let fault_set = if use_v2 {
+            let (n, faults) = expected_embed.as_ref().expect("use_v2 implies embed");
+            request = with_proto_v2(with_return_ring(request), 0, None);
+            Some(fault_set_from(*n, faults)?)
+        } else {
+            None
+        };
         issued.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
-        match client.call(&request) {
-            Ok(response) => {
+        let result = match &fault_set {
+            Some(faults) => fetch_verified(&mut client, &request, Duration::from_secs(30), faults),
+            None => client.call(&request).map(|response| (response, None)),
+        };
+        match result {
+            Ok((response, summary)) => {
                 let elapsed_ns = t0.elapsed().as_nanos() as u64;
                 let outcome = match response.get("ok") {
                     Some(Json::Bool(true)) => {
                         tally.ok += 1;
                         tally.latencies_ns.push(elapsed_ns);
-                        if let (true, Some((n, fault_count))) = (config.verify, expected_embed) {
-                            match check_certificate(&response, n, fault_count) {
+                        if let Some(summary) = &summary {
+                            tally.v2_streams += 1;
+                            tally.v2_chunks +=
+                                response.get("chunks").and_then(Json::as_u64).unwrap_or(0);
+                            if config.verify {
+                                // fetch_verified already compared the
+                                // stream against the header's
+                                // cert_checksum; what's left is the
+                                // paper's length guarantee.
+                                if summary.at_guarantee {
+                                    tally.certs_checked += 1;
+                                } else {
+                                    tally.cert_failures += 1;
+                                    eprintln!(
+                                        "loadgen: stream check failed ({id}): ring length {} \
+                                         below the n! - 2|F_v| guarantee",
+                                        summary.ring_len
+                                    );
+                                }
+                            }
+                        } else if let (true, false, Some((n, faults))) =
+                            (config.verify, use_v2, expected_embed.as_ref())
+                        {
+                            match check_certificate(&response, *n, faults.len()) {
                                 Ok(()) => tally.certs_checked += 1,
                                 Err(reason) => {
                                     tally.cert_failures += 1;
@@ -717,7 +838,16 @@ fn run_conn(
                     ));
                 }
             }
-            Err(_) => tally.protocol_errors += 1,
+            Err(reason) => {
+                tally.protocol_errors += 1;
+                if use_v2 {
+                    // A failed stream (verification or transport) leaves
+                    // unread chunk frames on the socket; reconnect
+                    // rather than desync every later response.
+                    eprintln!("loadgen: v2 stream failed ({id}): {reason}");
+                    client = Client::connect(&config.addr, Duration::from_secs(5))?;
+                }
+            }
         }
     }
     Ok(tally)
@@ -728,7 +858,7 @@ struct PendingReq {
     sched: Instant,
     sched_ns: u64,
     trace: u128,
-    expected_embed: Option<(usize, usize)>,
+    expected_embed: Option<(usize, Vec<String>)>,
 }
 
 /// How long the open-loop receiver keeps draining responses after the
@@ -811,9 +941,8 @@ fn run_conn_open(
                             .as_mut()
                             .expect("hist set above")
                             .record(latency_ns);
-                        if let (true, Some((n, fault_count))) = (config.verify, req.expected_embed)
-                        {
-                            match check_certificate(&response, n, fault_count) {
+                        if let (true, Some((n, faults))) = (config.verify, &req.expected_embed) {
+                            match check_certificate(&response, *n, faults.len()) {
                                 Ok(()) => tally.certs_checked += 1,
                                 Err(reason) => {
                                     tally.cert_failures += 1;
@@ -920,6 +1049,13 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             config.arrivals.name()
         ));
     }
+    if config.arrivals.is_open() && config.proto != WireProto::V1 {
+        return Err(format!(
+            "--proto {} needs closed-loop arrivals: v2 chunk frames carry no id for the \
+             open-loop receiver to match",
+            config.proto.name()
+        ));
+    }
     let pool = pool_for(config.mix, config.seed);
     let started = Instant::now();
     let stop_at = started + config.duration;
@@ -974,6 +1110,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         arrivals: config.arrivals,
         certs_checked: 0,
         cert_failures: 0,
+        v2_streams: 0,
+        v2_chunks: 0,
     };
     let mut connect_failures = 0u64;
     let mut trace_lines: Vec<String> = Vec::new();
@@ -989,6 +1127,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 }
                 report.certs_checked += t.certs_checked;
                 report.cert_failures += t.cert_failures;
+                report.v2_streams += t.v2_streams;
+                report.v2_chunks += t.v2_chunks;
                 trace_lines.extend(t.trace_lines);
                 for (code, count) in t.rejected {
                     match report.rejected.iter_mut().find(|(c, _)| *c == code) {
@@ -1281,6 +1421,60 @@ mod tests {
         assert!(err.contains("--rps"), "{err}");
     }
 
+    #[test]
+    fn proto_parse_round_trips() {
+        for (text, want) in [
+            ("v1", WireProto::V1),
+            ("v2", WireProto::V2),
+            ("mixed", WireProto::Mixed),
+        ] {
+            assert_eq!(WireProto::parse(text).unwrap(), want);
+            assert_eq!(want.name(), text);
+        }
+        assert!(WireProto::parse("v3").is_err());
+    }
+
+    #[test]
+    fn open_loop_with_v2_proto_is_rejected() {
+        // Chunk frames carry no correlation id, so the open-loop
+        // receiver thread cannot match them to pending requests.
+        for proto in [WireProto::V2, WireProto::Mixed] {
+            let config = LoadgenConfig {
+                arrivals: Arrivals::Poisson,
+                rps: 100,
+                proto,
+                ..LoadgenConfig::default()
+            };
+            let err = run(&config).unwrap_err();
+            assert!(err.contains("closed-loop"), "{err}");
+        }
+    }
+
+    #[test]
+    fn fault_set_round_trips_from_generated_strings() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let faults = random_faults(&mut rng, 7);
+        let set = fault_set_from(7, &faults).unwrap();
+        assert_eq!(set.vertices().len(), faults.len());
+        assert!(fault_set_from(7, &["not a perm".to_string()]).is_err());
+    }
+
+    #[test]
+    fn summary_reports_v2_streams_only_when_present() {
+        let silent = sample_report().render_summary();
+        assert!(!silent.contains("v2 ring streams"), "{silent}");
+        let report = LoadgenReport {
+            v2_streams: 8,
+            v2_chunks: 40,
+            ..sample_report()
+        };
+        let text = report.render_summary();
+        assert!(
+            text.contains("v2 ring streams verified 8 (40 chunks)"),
+            "{text}"
+        );
+    }
+
     fn sample_report() -> LoadgenReport {
         LoadgenReport {
             ok: 100,
@@ -1300,6 +1494,8 @@ mod tests {
             arrivals: Arrivals::Closed,
             certs_checked: 0,
             cert_failures: 0,
+            v2_streams: 0,
+            v2_chunks: 0,
         }
     }
 

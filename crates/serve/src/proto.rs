@@ -35,12 +35,36 @@
 //! Faults and ring vertices travel as permutation strings in the same
 //! format the CLI uses (digit strings for `n <= 9`, dot-separated
 //! otherwise), so a `nc` session and a ring file round-trip unchanged.
+//!
+//! # Protocol v2: generator-delta rings, streamed
+//!
+//! A ring in `S_n` steps between adjacent permutations by one star move
+//! — a single dimension `d ∈ {1..n-1}` — so the whole ring is one start
+//! permutation plus one nibble per step ([`RingDelta`]), ~24× smaller
+//! than the JSON permutation list. A v1 JSON frame cannot carry an
+//! `n >= 10` ring at all (n=10: ~3.6 M vertices, far past [`MAX_FRAME`]
+//! as JSON); v2 can, and it streams.
+//!
+//! Negotiation is per-request: an embed request carrying `"proto":2`
+//! (plus optional `"cursor"` and `"chunk_vertices"`) asks for a v2
+//! response. The server answers with one ordinary JSON *header* frame
+//! (`"encoding":"delta-v2"`, `ring_len`, `chunks`, the usual trace
+//! members) followed by that many **binary chunk frames** inside the
+//! same length-prefixed framing, distinguished by the [`CHUNK_MAGIC`]
+//! leading bytes (a JSON document never starts with `SRB2`). Each chunk
+//! ([`ChunkFrame`]) is self-contained — ring position (`cursor`), packed
+//! start vertex, nibble-packed step dimensions, FNV-1a checksum — so a
+//! client verifies incrementally in constant memory and, after a broken
+//! connection, resumes by re-requesting with `"cursor"` set to the first
+//! position it did not receive. Servers that do not speak v2 (or answer
+//! non-embed kinds) reply with a plain v1 JSON response; clients must
+//! treat the header's `encoding` member as authoritative.
 
 use std::io::{self, Read, Write};
 
 use star_bench::jsonv::Json;
 use star_fault::FaultSet;
-use star_perm::Perm;
+use star_perm::{packed::PackedPerm, Aut, Perm};
 use star_ring::EmbedOptions;
 
 /// Hard cap on a single frame body (16 MiB — a full `n = 12` ring is
@@ -60,11 +84,44 @@ pub enum FrameRead {
 }
 
 /// Writes one frame (length prefix + body).
+///
+/// Partial writes and `EINTR` are handled explicitly: a `write` that
+/// moves fewer bytes than offered simply advances the cursor, and
+/// [`io::ErrorKind::Interrupted`] (from anywhere — the prefix, the body,
+/// or the flush) retries the same range. A frame is therefore either
+/// fully written or fails with a real error; it is never silently
+/// truncated by a signal landing mid-send.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
     debug_assert!(body.len() <= MAX_FRAME);
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(body)?;
-    w.flush()
+    write_all_retry(w, &(body.len() as u32).to_be_bytes())?;
+    write_all_retry(w, body)?;
+    loop {
+        match w.flush() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+/// `write_all` with explicit short-write accounting and `EINTR` retry.
+/// (`Write::write_all` also loops, but its `Interrupted` handling is an
+/// implementation detail of each writer; the wire layer spells out the
+/// invariant it needs and owns it.)
+fn write_all_retry(w: &mut impl Write, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "writer accepted 0 bytes mid-frame",
+                ))
+            }
+            Ok(k) => buf = &buf[k..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Reads one frame. Timeouts (`WouldBlock`/`TimedOut`) before the first
@@ -139,6 +196,10 @@ pub enum ErrorCode {
     VerifyFailed,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The encoded response body exceeds [`MAX_FRAME`] — the work
+    /// succeeded but the answer cannot travel as one v1 frame (ask for
+    /// `"proto":2` streaming, or drop `return_ring`).
+    ResponseTooLarge,
 }
 
 impl ErrorCode {
@@ -151,6 +212,7 @@ impl ErrorCode {
             ErrorCode::EmbedFailed => "embed_failed",
             ErrorCode::VerifyFailed => "verify_failed",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::ResponseTooLarge => "response_too_large",
         }
     }
 }
@@ -207,6 +269,16 @@ pub struct Request {
     pub trace_id: Option<u128>,
     /// Per-request deadline budget in milliseconds (from receipt).
     pub deadline_ms: Option<u64>,
+    /// Requested protocol version: [`PROTO_V1`] (default) or
+    /// [`PROTO_V2`]. Only embed responses honor v2; everything else is
+    /// JSON regardless.
+    pub proto: u8,
+    /// v2 stream start position: the ring index of the first vertex to
+    /// send (resume point after a broken stream). Ignored under v1.
+    pub cursor: u64,
+    /// Client's preferred vertices-per-chunk granularity (server clamps
+    /// to `MIN_CHUNK_VERTICES..=MAX_CHUNK_VERTICES`).
+    pub chunk_vertices: Option<u32>,
     /// Embedder knobs.
     pub options: EmbedOptions,
     /// The request body.
@@ -231,6 +303,30 @@ impl Request {
             }
         };
         let deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
+        let proto = match doc.get("proto") {
+            None | Some(Json::Null) => PROTO_V1,
+            Some(v) => match v.as_u64() {
+                Some(1) => PROTO_V1,
+                Some(2) => PROTO_V2,
+                _ => return Err("proto must be 1 or 2".to_string()),
+            },
+        };
+        let cursor = match doc.get("cursor") {
+            None | Some(Json::Null) => 0,
+            Some(v) => v.as_u64().ok_or("cursor must be an integer")?,
+        };
+        let chunk_vertices = match doc.get("chunk_vertices") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let k = v.as_u64().ok_or("chunk_vertices must be an integer")?;
+                if !(MIN_CHUNK_VERTICES as u64..=MAX_CHUNK_VERTICES as u64).contains(&k) {
+                    return Err(format!(
+                        "chunk_vertices must be in {MIN_CHUNK_VERTICES}..={MAX_CHUNK_VERTICES}"
+                    ));
+                }
+                Some(k as u32)
+            }
+        };
         let options = parse_options(doc.get("options"))?;
         let body = match kind {
             "health" => RequestBody::Health,
@@ -278,6 +374,9 @@ impl Request {
             id,
             trace_id,
             deadline_ms,
+            proto,
+            cursor,
+            chunk_vertices,
             options,
             body,
         })
@@ -462,6 +561,463 @@ pub fn ok_response(id: Option<&str>, kind: &str, members: Vec<(String, Json)>) -
 /// Renders a ring as its wire form (array of permutation strings).
 pub fn ring_to_json(vertices: &[Perm]) -> Json {
     Json::Arr(vertices.iter().map(|p| Json::from(p.to_string())).collect())
+}
+
+/// Renders a response document to its frame body, enforcing the
+/// [`MAX_FRAME`] cap on the *response* side. `Err` carries the oversized
+/// encoded length so the caller can substitute a deterministic
+/// [`ErrorCode::ResponseTooLarge`] frame instead of tearing down (or
+/// silently corrupting) the connection.
+pub fn encode_response_body(doc: &Json) -> Result<Vec<u8>, usize> {
+    let body = doc.to_string().into_bytes();
+    if body.len() > MAX_FRAME {
+        Err(body.len())
+    } else {
+        Ok(body)
+    }
+}
+
+/// The deterministic substitute for an oversized response: same `id`,
+/// same trace members, a stable error code and a message that names the
+/// actual and permitted sizes (both are functions of the request, so
+/// retries see byte-identical frames).
+pub fn oversize_error_response(
+    id: Option<&str>,
+    encoded_len: usize,
+    trace: Option<(u128, &ServerTiming)>,
+) -> Json {
+    let message = format!(
+        "encoded response of {encoded_len} bytes exceeds the {MAX_FRAME}-byte frame cap; \
+         request proto 2 streaming or drop return_ring"
+    );
+    match trace {
+        Some((trace_id, timing)) => {
+            error_response_traced(id, ErrorCode::ResponseTooLarge, &message, trace_id, timing)
+        }
+        None => error_response(id, ErrorCode::ResponseTooLarge, &message),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol v2: generator-delta ring encoding and binary chunk frames.
+// ---------------------------------------------------------------------
+
+/// Wire protocol version 1: length-prefixed JSON frames only.
+pub const PROTO_V1: u8 = 1;
+/// Wire protocol version 2: JSON control frames plus binary
+/// generator-delta chunk frames for embed responses.
+pub const PROTO_V2: u8 = 2;
+
+/// Leading bytes of every binary chunk frame. A JSON document can never
+/// start with these (v1 frames always begin with `{`), so one peek at a
+/// frame body classifies it.
+pub const CHUNK_MAGIC: [u8; 4] = *b"SRB2";
+
+/// Default vertices per streamed chunk (~32 KiB of nibble-packed steps).
+pub const DEFAULT_CHUNK_VERTICES: u32 = 1 << 16;
+/// Smallest chunk granularity a client may request.
+pub const MIN_CHUNK_VERTICES: u32 = 2;
+/// Largest chunk granularity a client may request (still far under
+/// [`MAX_FRAME`] once nibble-packed).
+pub const MAX_CHUNK_VERTICES: u32 = 1 << 21;
+
+/// `true` iff a frame body is a binary v2 chunk rather than JSON.
+pub fn is_binary_frame(body: &[u8]) -> bool {
+    body.len() >= CHUNK_MAGIC.len() && body[..CHUNK_MAGIC.len()] == CHUNK_MAGIC
+}
+
+/// FNV-1a over raw bytes (the chunk-frame integrity checksum; the
+/// STARRING-CERT checksum is the same function over rank words).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Packs step dimensions two per byte, low nibble first.
+fn pack_dims(dims: impl Iterator<Item = u8>, steps: usize) -> Vec<u8> {
+    let mut out = vec![0u8; steps.div_ceil(2)];
+    for (i, d) in dims.enumerate() {
+        debug_assert!((1..16).contains(&d));
+        out[i / 2] |= d << (4 * (i % 2));
+    }
+    out
+}
+
+/// The step dimension at index `i` of a nibble-packed stream.
+#[inline(always)]
+fn unpack_dim(dims: &[u8], i: usize) -> u8 {
+    (dims[i / 2] >> (4 * (i % 2))) & 0xF
+}
+
+/// A ring (or ring segment) as one start permutation plus a
+/// generator-delta step stream: step `i` moves along star dimension
+/// `dims[i]`. ~4.5 bits/vertex instead of the ~13 bytes of a JSON
+/// permutation string — the encoding that makes `n >= 10` responses,
+/// caches, and streams tractable.
+///
+/// Construction always validates (every dimension in `1..n`, start a
+/// real permutation), so walking and decoding are infallible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingDelta {
+    n: u8,
+    len: u32,
+    start_bits: u64,
+    dims: Vec<u8>,
+}
+
+impl RingDelta {
+    /// Encodes a vertex list. Fails if `ring` is empty or any
+    /// consecutive pair is not star-adjacent (the closing edge is the
+    /// verifier's business, not the codec's).
+    pub fn encode(ring: &[Perm]) -> Result<RingDelta, String> {
+        let first = ring.first().ok_or("cannot delta-encode an empty ring")?;
+        let n = first.n();
+        let mut prev = PackedPerm::from_perm(first);
+        let start_bits = prev.bits();
+        let steps = ring.len() - 1;
+        let mut dims = vec![0u8; steps.div_ceil(2)];
+        for (i, v) in ring[1..].iter().enumerate() {
+            let cur = PackedPerm::from_perm(v);
+            let d = prev
+                .edge_dimension_to(&cur)
+                .ok_or_else(|| format!("ring positions {i}..{} are not adjacent", i + 1))?;
+            dims[i / 2] |= (d as u8) << (4 * (i % 2));
+            prev = cur;
+        }
+        Ok(RingDelta {
+            n: n as u8,
+            len: ring.len() as u32,
+            start_bits,
+            dims,
+        })
+    }
+
+    /// Reassembles a delta from wire/store parts, validating everything
+    /// a walker later trusts: the start permutation, the dims length,
+    /// every dimension in `1..n`, and zeroed padding.
+    pub fn from_parts(
+        n: usize,
+        len: u32,
+        start_bits: u64,
+        dims: Vec<u8>,
+    ) -> Result<RingDelta, String> {
+        PackedPerm::from_raw(n, start_bits).map_err(|e| format!("bad start permutation: {e}"))?;
+        if len == 0 {
+            return Err("delta of length 0".to_string());
+        }
+        let steps = len as usize - 1;
+        if dims.len() != steps.div_ceil(2) {
+            return Err(format!(
+                "{} dim bytes for {steps} steps (want {})",
+                dims.len(),
+                steps.div_ceil(2)
+            ));
+        }
+        for i in 0..steps {
+            let d = unpack_dim(&dims, i);
+            if d == 0 || d as usize >= n {
+                return Err(format!("step {i} has invalid dimension {d} for n={n}"));
+            }
+        }
+        if steps % 2 == 1 && dims[steps / 2] >> 4 != 0 {
+            return Err("nonzero padding nibble".to_string());
+        }
+        Ok(RingDelta {
+            n: n as u8,
+            len,
+            start_bits,
+            dims,
+        })
+    }
+
+    /// The star-graph dimension.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The number of vertices encoded.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` iff only the start vertex is encoded.
+    pub fn is_empty(&self) -> bool {
+        false // a delta always holds >= 1 vertex
+    }
+
+    /// The packed start vertex.
+    pub fn start(&self) -> PackedPerm {
+        PackedPerm::from_raw(self.n(), self.start_bits).expect("validated at construction")
+    }
+
+    /// The raw nibble-packed step stream.
+    pub fn dims(&self) -> &[u8] {
+        &self.dims
+    }
+
+    /// The step dimension at index `i` (`i < len - 1`).
+    pub fn dim_at(&self, i: usize) -> usize {
+        debug_assert!((i as u32) < self.len - 1);
+        unpack_dim(&self.dims, i) as usize
+    }
+
+    /// Walks the encoded vertices in order, O(1) memory.
+    pub fn walk(&self) -> DeltaWalker<'_> {
+        DeltaWalker {
+            delta: self,
+            cur: self.start(),
+            pos: 0,
+        }
+    }
+
+    /// Expands back to the vertex list (the lossless inverse of
+    /// [`RingDelta::encode`]).
+    pub fn decode(&self) -> Vec<Perm> {
+        self.walk().map(|p| p.to_perm()).collect()
+    }
+
+    /// The image of this delta under a star-graph automorphism, without
+    /// expanding: automorphisms relabel edge *dimensions* by a fixed
+    /// table ([`Aut::map_dimension`]), so the step stream maps
+    /// nibble-by-nibble and only the start vertex needs a permutation
+    /// composition. This is how a canonical-frame cached ring becomes a
+    /// literal-frame stream in O(len) bit work and O(len/2) bytes.
+    pub fn map_through(&self, aut: &Aut) -> RingDelta {
+        let n = self.n();
+        let mut table = [0u8; 16];
+        for (d, slot) in table.iter_mut().enumerate().take(n).skip(1) {
+            *slot = aut.map_dimension(d) as u8;
+        }
+        let steps = self.len as usize - 1;
+        let dims = pack_dims(
+            (0..steps).map(|i| table[unpack_dim(&self.dims, i) as usize]),
+            steps,
+        );
+        let start = PackedPerm::from_perm(&aut.apply(&self.start().to_perm()));
+        RingDelta {
+            n: self.n,
+            len: self.len,
+            start_bits: start.bits(),
+            dims,
+        }
+    }
+
+    /// A sub-segment of `count` vertices starting at ring position
+    /// `from`, as its own self-contained delta. `start_at` must be the
+    /// walker-computed vertex at `from` (the caller is walking anyway).
+    fn segment(&self, from: u32, count: u32, start_at: PackedPerm) -> RingDelta {
+        debug_assert!(count >= 1 && from + count <= self.len);
+        let steps = count as usize - 1;
+        let base = from as usize;
+        let dims = pack_dims((0..steps).map(|i| unpack_dim(&self.dims, base + i)), steps);
+        RingDelta {
+            n: self.n,
+            len: count,
+            start_bits: start_at.bits(),
+            dims,
+        }
+    }
+
+    /// Approximate heap footprint, for byte-budgeted caches.
+    pub fn heap_bytes(&self) -> usize {
+        self.dims.capacity()
+    }
+
+    /// Encoded wire size of the step stream plus start (what E18 calls
+    /// "v2 encoded ring size": the payload bytes a v2 stream carries for
+    /// this ring, excluding per-chunk framing).
+    pub fn encoded_bytes(&self) -> usize {
+        std::mem::size_of::<u64>() + self.dims.len()
+    }
+}
+
+/// Iterator over a [`RingDelta`]'s vertices; O(1) state (one packed
+/// perm and a position).
+pub struct DeltaWalker<'a> {
+    delta: &'a RingDelta,
+    cur: PackedPerm,
+    pos: u32,
+}
+
+impl DeltaWalker<'_> {
+    /// The ring position of the vertex the next `next()` call returns.
+    pub fn position(&self) -> u32 {
+        self.pos
+    }
+}
+
+impl Iterator for DeltaWalker<'_> {
+    type Item = PackedPerm;
+
+    fn next(&mut self) -> Option<PackedPerm> {
+        if self.pos >= self.delta.len {
+            return None;
+        }
+        let out = self.cur;
+        self.pos += 1;
+        if self.pos < self.delta.len {
+            self.cur = self.cur.star_move(self.delta.dim_at(self.pos as usize - 1));
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.delta.len - self.pos) as usize;
+        (left, Some(left))
+    }
+}
+
+/// One binary streamed-response chunk: a self-contained ring segment
+/// plus enough envelope (sequence number, ring cursor, last-chunk flag,
+/// checksum) for a client to verify incrementally and resume after a
+/// dropped connection.
+///
+/// Wire layout (all integers big-endian), inside the ordinary
+/// length-prefixed framing:
+///
+/// ```text
+/// offset size
+///      0    4  magic "SRB2"
+///      4    1  version (2)
+///      5    1  n
+///      6    1  flags (bit 0: last chunk of the stream)
+///      7    1  reserved (0)
+///      8    4  seq — 0-based chunk index within this response
+///     12    8  cursor — ring position of this chunk's first vertex
+///     20    8  start_bits — nibble-packed first vertex
+///     28    4  count — vertices in this chunk (>= 1)
+///     32    …  dims — nibble-packed step stream, ceil((count-1)/2) bytes
+///   last    8  checksum — FNV-1a over every preceding byte
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkFrame {
+    /// Star-graph dimension.
+    pub n: u8,
+    /// `true` on the final chunk of the stream.
+    pub last: bool,
+    /// 0-based chunk index within the response.
+    pub seq: u32,
+    /// Ring position of this chunk's first vertex.
+    pub cursor: u64,
+    /// The segment itself (start vertex + steps).
+    pub segment: RingDelta,
+}
+
+/// Fixed bytes before the dims stream in a chunk frame.
+const CHUNK_HEADER: usize = 32;
+/// Trailing checksum bytes.
+const CHUNK_TRAILER: usize = 8;
+
+impl ChunkFrame {
+    /// Serializes to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let dims = self.segment.dims();
+        let mut out = Vec::with_capacity(CHUNK_HEADER + dims.len() + CHUNK_TRAILER);
+        out.extend_from_slice(&CHUNK_MAGIC);
+        out.push(PROTO_V2);
+        out.push(self.n);
+        out.push(u8::from(self.last));
+        out.push(0);
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.cursor.to_be_bytes());
+        out.extend_from_slice(&self.segment.start().bits().to_be_bytes());
+        out.extend_from_slice(&self.segment.len().to_be_bytes());
+        out.extend_from_slice(dims);
+        let checksum = fnv64(&out);
+        out.extend_from_slice(&checksum.to_be_bytes());
+        out
+    }
+
+    /// Parses and fully validates a frame body: magic, version,
+    /// checksum, lengths, start permutation, every step dimension.
+    pub fn parse(body: &[u8]) -> Result<ChunkFrame, String> {
+        if !is_binary_frame(body) {
+            return Err("not a binary chunk frame".to_string());
+        }
+        if body.len() < CHUNK_HEADER + CHUNK_TRAILER {
+            return Err(format!("chunk frame of {} bytes is too short", body.len()));
+        }
+        let (payload, trailer) = body.split_at(body.len() - CHUNK_TRAILER);
+        let declared = u64::from_be_bytes(trailer.try_into().expect("8 trailer bytes"));
+        if fnv64(payload) != declared {
+            return Err("chunk checksum mismatch".to_string());
+        }
+        if payload[4] != PROTO_V2 {
+            return Err(format!("unknown chunk version {}", payload[4]));
+        }
+        let n = payload[5];
+        let flags = payload[6];
+        if flags & !1 != 0 || payload[7] != 0 {
+            return Err("unknown chunk flags".to_string());
+        }
+        let be32 = |at: usize| u32::from_be_bytes(payload[at..at + 4].try_into().expect("4 bytes"));
+        let be64 = |at: usize| u64::from_be_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
+        let seq = be32(8);
+        let cursor = be64(12);
+        let start_bits = be64(20);
+        let count = be32(28);
+        let segment = RingDelta::from_parts(
+            n as usize,
+            count,
+            start_bits,
+            payload[CHUNK_HEADER..].to_vec(),
+        )?;
+        Ok(ChunkFrame {
+            n,
+            last: flags & 1 != 0,
+            seq,
+            cursor,
+            segment,
+        })
+    }
+}
+
+/// Splits a ring delta into [`ChunkFrame`]s covering positions
+/// `cursor..len`, `chunk_vertices` per chunk, walking the delta once
+/// (O(1) extra state per chunk). Returns an empty stream error if the
+/// cursor is at or past the end.
+pub fn chunk_stream(
+    delta: &RingDelta,
+    cursor: u64,
+    chunk_vertices: u32,
+) -> Result<Vec<ChunkFrame>, String> {
+    if cursor >= delta.len() as u64 {
+        return Err(format!(
+            "cursor {cursor} is past the ring length {}",
+            delta.len()
+        ));
+    }
+    let chunk_vertices = chunk_vertices.clamp(MIN_CHUNK_VERTICES, MAX_CHUNK_VERTICES);
+    let mut walker = delta.walk();
+    let mut at = walker.next().expect("delta holds >= 1 vertex");
+    for _ in 0..cursor {
+        at = walker.next().expect("cursor checked against len");
+    }
+    let mut chunks = Vec::new();
+    let mut pos = cursor as u32;
+    loop {
+        let left = delta.len() - pos;
+        let count = left.min(chunk_vertices);
+        chunks.push(ChunkFrame {
+            n: delta.n() as u8,
+            last: count == left,
+            seq: chunks.len() as u32,
+            cursor: pos as u64,
+            segment: delta.segment(pos, count, at),
+        });
+        if count == left {
+            return Ok(chunks);
+        }
+        // Advance the walker to the next chunk's first vertex.
+        for _ in 0..count {
+            at = walker.next().expect("segment bounds checked");
+        }
+        pos += count;
+    }
 }
 
 #[cfg(test)]
@@ -670,5 +1226,259 @@ mod tests {
             err.to_string(),
             r#"{"ok":false,"error":"overloaded","message":"queue full"}"#
         );
+    }
+
+    /// A response document whose encoded body has exactly `want` bytes:
+    /// `{"ok":true,"pad":"…"}` with the padding sized to land on the
+    /// target.
+    fn response_of_encoded_len(want: usize) -> Json {
+        let overhead = Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("pad".to_string(), Json::from("")),
+        ])
+        .to_string()
+        .len();
+        let doc = Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("pad".to_string(), Json::from("x".repeat(want - overhead))),
+        ]);
+        assert_eq!(doc.to_string().len(), want);
+        doc
+    }
+
+    #[test]
+    fn response_body_at_exactly_the_cap_is_accepted() {
+        let doc = response_of_encoded_len(MAX_FRAME);
+        let body = encode_response_body(&doc).expect("cap is inclusive");
+        assert_eq!(body.len(), MAX_FRAME);
+    }
+
+    #[test]
+    fn response_body_one_byte_over_the_cap_is_rejected_deterministically() {
+        let doc = response_of_encoded_len(MAX_FRAME + 1);
+        let len = encode_response_body(&doc).expect_err("one byte over must reject");
+        assert_eq!(len, MAX_FRAME + 1);
+        // The substitute frame is deterministic: same inputs, identical
+        // bytes, stable error code, id and trace members preserved.
+        let timing = ServerTiming {
+            queue_us: 7,
+            ..ServerTiming::default()
+        };
+        let a = oversize_error_response(Some("r9"), len, Some((0xbeef, &timing)));
+        let b = oversize_error_response(Some("r9"), len, Some((0xbeef, &timing)));
+        assert_eq!(a.to_string(), b.to_string());
+        let text = a.to_string();
+        assert!(text.starts_with(r#"{"ok":false,"error":"response_too_large""#));
+        assert!(text.contains(&format!("{} bytes", MAX_FRAME + 1)));
+        assert!(text.contains(r#""id":"r9""#));
+        assert!(text.contains(r#""trace_id":"0000000000000000000000000000beef""#));
+        // And it itself fits a frame.
+        assert!(encode_response_body(&a).is_ok());
+    }
+
+    /// A writer that accepts at most 3 bytes per call and fails every
+    /// other call with `EINTR` — the chaos double of a signal-ridden
+    /// socket.
+    struct ChaosWriter {
+        out: Vec<u8>,
+        calls: usize,
+        flush_interrupts: usize,
+    }
+
+    impl Write for ChaosWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 2 == 1 {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "chaos EINTR"));
+            }
+            let k = buf.len().min(3);
+            self.out.extend_from_slice(&buf[..k]);
+            Ok(k)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            if self.flush_interrupts > 0 {
+                self.flush_interrupts -= 1;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "chaos EINTR"));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_frame_survives_short_writes_and_eintr() {
+        let body = br#"{"kind":"embed","n":7,"faults":[]}"#;
+        let mut chaos = ChaosWriter {
+            out: Vec::new(),
+            calls: 0,
+            flush_interrupts: 2,
+        };
+        write_frame(&mut chaos, body).expect("short writes and EINTR must be absorbed");
+        match read_frame(&mut &chaos.out[..]).unwrap() {
+            FrameRead::Frame(b) => assert_eq!(b, body),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_frame_survives_interrupted_reads() {
+        /// A reader yielding one byte per call, interrupting every other
+        /// call.
+        struct ChaosReader {
+            data: Vec<u8>,
+            at: usize,
+            calls: usize,
+        }
+        impl Read for ChaosReader {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.calls += 1;
+                if self.calls % 2 == 1 {
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "chaos EINTR"));
+                }
+                if self.at == self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.at];
+                self.at += 1;
+                Ok(1)
+            }
+        }
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"{}").unwrap();
+        let mut chaos = ChaosReader {
+            data: framed,
+            at: 0,
+            calls: 0,
+        };
+        match read_frame(&mut chaos).unwrap() {
+            FrameRead::Frame(b) => assert_eq!(b, b"{}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_frame(&mut chaos).unwrap(), FrameRead::Eof));
+    }
+
+    /// A small S_4 ring (the 6-cycle through identity via dims 1,2).
+    fn small_ring(len: usize) -> Vec<Perm> {
+        let mut v = Perm::identity(4);
+        let mut out = vec![v];
+        for i in 0..len - 1 {
+            v = v.star_move(1 + i % 2);
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn delta_round_trips_and_is_compact() {
+        let ring = small_ring(6);
+        let delta = RingDelta::encode(&ring).unwrap();
+        assert_eq!(delta.len(), 6);
+        assert_eq!(delta.decode(), ring);
+        // 5 steps → 3 nibble bytes.
+        assert_eq!(delta.dims().len(), 3);
+        assert_eq!(
+            RingDelta::from_parts(4, 6, delta.start().bits(), delta.dims().to_vec()).unwrap(),
+            delta
+        );
+        let walked: Vec<Perm> = delta.walk().map(|p| p.to_perm()).collect();
+        assert_eq!(walked, ring);
+    }
+
+    #[test]
+    fn delta_rejects_non_adjacent_and_corrupt_parts() {
+        let mut ring = small_ring(6);
+        ring.swap(1, 3);
+        assert!(RingDelta::encode(&ring).is_err());
+        assert!(RingDelta::encode(&[]).is_err());
+        let good = RingDelta::encode(&small_ring(6)).unwrap();
+        // Dimension 0 and out-of-range dimension both rejected.
+        assert!(RingDelta::from_parts(4, 6, good.start().bits(), vec![0x01, 0x21, 0x02]).is_err());
+        assert!(RingDelta::from_parts(4, 6, good.start().bits(), vec![0x21, 0x51, 0x02]).is_err());
+        // Wrong dims length.
+        assert!(RingDelta::from_parts(4, 6, good.start().bits(), vec![0x21]).is_err());
+        // Nonzero padding nibble (5 steps: high nibble of byte 2 is pad).
+        assert!(RingDelta::from_parts(4, 6, good.start().bits(), vec![0x21, 0x21, 0x32]).is_err());
+        // Garbage start bits.
+        assert!(RingDelta::from_parts(4, 6, 0x1111, good.dims().to_vec()).is_err());
+    }
+
+    #[test]
+    fn delta_maps_through_automorphisms_like_the_expanded_ring() {
+        let ring = small_ring(8);
+        let delta = RingDelta::encode(&ring).unwrap();
+        for (g, h) in [(0u64, 0u64), (5, 3), (17, 5), (23, 1)] {
+            let aut = Aut::from_ranks(4, g, h);
+            let mapped: Vec<Perm> = ring.iter().map(|p| aut.apply(p)).collect();
+            assert_eq!(
+                delta.map_through(&aut).decode(),
+                mapped,
+                "aut ({g},{h}) disagrees with per-vertex mapping"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_frames_round_trip_and_reject_tampering() {
+        let ring = small_ring(10);
+        let delta = RingDelta::encode(&ring).unwrap();
+        let chunks = chunk_stream(&delta, 0, 4).unwrap();
+        assert_eq!(chunks.len(), 3); // 4 + 4 + 2 vertices
+        assert!(chunks[2].last && !chunks[0].last && !chunks[1].last);
+        assert_eq!(chunks[1].cursor, 4);
+        // Chunks tile the ring exactly.
+        let mut rebuilt: Vec<Perm> = Vec::new();
+        for c in &chunks {
+            let body = c.encode();
+            assert!(is_binary_frame(&body));
+            let parsed = ChunkFrame::parse(&body).unwrap();
+            assert_eq!(&parsed, c);
+            rebuilt.extend(parsed.segment.decode());
+        }
+        assert_eq!(rebuilt, ring);
+        // Any flipped byte is caught by the checksum.
+        let mut bad = chunks[0].encode();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(ChunkFrame::parse(&bad).is_err());
+        // Truncation and a JSON body are rejected, not misparsed.
+        assert!(ChunkFrame::parse(&chunks[0].encode()[..20]).is_err());
+        assert!(ChunkFrame::parse(b"{\"ok\":true}").is_err());
+        assert!(!is_binary_frame(b"{\"ok\":true}"));
+    }
+
+    #[test]
+    fn chunk_stream_resumes_from_a_cursor() {
+        let ring = small_ring(10);
+        let delta = RingDelta::encode(&ring).unwrap();
+        let chunks = chunk_stream(&delta, 7, 4).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].cursor, 7);
+        assert!(chunks[0].last);
+        assert_eq!(chunks[0].segment.decode(), &ring[7..]);
+        assert!(chunk_stream(&delta, 10, 4).is_err());
+    }
+
+    #[test]
+    fn proto_negotiation_parses_and_rejects() {
+        let req = Request::parse(
+            br#"{"kind":"embed","n":6,"proto":2,"cursor":12,"chunk_vertices":4096}"#,
+        )
+        .unwrap();
+        assert_eq!(req.proto, PROTO_V2);
+        assert_eq!(req.cursor, 12);
+        assert_eq!(req.chunk_vertices, Some(4096));
+        let v1 = Request::parse(br#"{"kind":"embed","n":6}"#).unwrap();
+        assert_eq!(v1.proto, PROTO_V1);
+        assert_eq!(v1.cursor, 0);
+        assert_eq!(v1.chunk_vertices, None);
+        for bad in [
+            &br#"{"kind":"embed","n":6,"proto":3}"#[..],
+            br#"{"kind":"embed","n":6,"proto":"2"}"#,
+            br#"{"kind":"embed","n":6,"cursor":"x"}"#,
+            br#"{"kind":"embed","n":6,"chunk_vertices":1}"#,
+            br#"{"kind":"embed","n":6,"chunk_vertices":999999999}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} accepted");
+        }
     }
 }

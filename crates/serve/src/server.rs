@@ -39,13 +39,14 @@ use std::time::{Duration, Instant};
 use star_bench::jsonv::Json;
 use star_oracle::{Canon, Canonicalizer, Store, WriteBehind};
 use star_perm::Perm;
-use star_ring::remap::map_ring;
 use star_ring::{embed_many_with_options, embed_with_options, EmbedOptions};
 
 use crate::cache::{key_for, CacheKey, ResultCache};
 use crate::proto::{
-    attach_trace, error_response, error_response_traced, ok_response, read_frame, ring_to_json,
-    write_frame, ErrorCode, FrameRead, Request, RequestBody, ServerTiming,
+    attach_trace, chunk_stream, encode_response_body, error_response, error_response_traced,
+    ok_response, oversize_error_response, read_frame, ring_to_json, write_frame, ChunkFrame,
+    ErrorCode, FrameRead, Request, RequestBody, RingDelta, ServerTiming, DEFAULT_CHUNK_VERTICES,
+    PROTO_V1, PROTO_V2,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::slo::{Outcome, SloConfig, Watchdog};
@@ -82,6 +83,12 @@ pub struct ServeConfig {
     /// misses consult the disk store before embedding, and fresh embeds
     /// are written behind. `None` = in-memory cache only.
     pub oracle_path: Option<PathBuf>,
+    /// Highest protocol version to honor (`--proto`): [`PROTO_V2`]
+    /// (default) streams embed responses to v2-negotiating clients;
+    /// [`PROTO_V1`] forces JSON responses even when a client asks for v2
+    /// (the header simply lacks `encoding: delta-v2`, so well-behaved
+    /// clients fall back).
+    pub max_proto: u8,
 }
 
 impl Default for ServeConfig {
@@ -90,15 +97,18 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7411".to_string(),
             threads: 0,
             queue_capacity: 256,
-            // Must hold full n = 9 rings: 9! vertices × 13 B ≈ 4.5 MiB
-            // per entry, and the 16-way sharding means a single entry
-            // needs a shard budget (total/16) above that — 256 MiB total
-            // gives 16 MiB shards, ~3 worst-case entries each.
+            // Entries are generator-delta encoded (~0.5 B/vertex): a
+            // worst-case n = 9 ring is 9!/2 ≈ 177 KiB and even n = 10 is
+            // 10!/2 ≈ 1.73 MiB, so the 16-way sharding (total/16 per
+            // shard) holds ~90 worst-case n = 9 entries per shard at the
+            // 256 MiB default — the budget now buys breadth, not
+            // survival.
             cache_bytes: 256 << 20,
             default_deadline_ms: None,
             verify_responses: false,
             slo: None,
             oracle_path: None,
+            max_proto: PROTO_V2,
         }
     }
 }
@@ -160,9 +170,48 @@ struct Conn {
 
 impl Conn {
     fn respond(&self, ctx: &Ctx, response: &Json) {
-        let body = response.to_string();
+        let body = match encode_response_body(response) {
+            Ok(body) => body,
+            // The encoded response outgrew the frame cap (an n >= 10
+            // `return_ring` under v1 gets here). Substitute the
+            // deterministic `response_too_large` frame — same id, same
+            // trace members — instead of writing a frame the client's
+            // reader must reject mid-stream.
+            Err(encoded_len) => {
+                ctx.obs.reject_oversize.incr(1);
+                if star_obs::flightrec::enabled() {
+                    star_obs::flightrec::record(
+                        "serve.reject.oversize_response",
+                        self.peer.clone(),
+                        &[("encoded_len", star_obs::FieldValue::U64(encoded_len as u64))],
+                    );
+                }
+                let id = response.get("id").and_then(Json::as_str);
+                let trace = response
+                    .get("trace_id")
+                    .and_then(Json::as_str)
+                    .and_then(|t| star_obs::parse_trace(t).ok());
+                let timing = response
+                    .get("server_timing")
+                    .and_then(ServerTiming::from_json)
+                    .unwrap_or_default();
+                let fallback = oversize_error_response(
+                    id,
+                    encoded_len,
+                    trace.map(|trace_id| (trace_id, &timing)),
+                );
+                fallback.to_string().into_bytes()
+            }
+        };
+        self.respond_raw(ctx, &body);
+    }
+
+    /// Writes one already-encoded frame body (JSON or a binary v2
+    /// chunk). Write failures are counted, not propagated: the request
+    /// was still served.
+    fn respond_raw(&self, ctx: &Ctx, body: &[u8]) {
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        if write_frame(&mut *stream, body.as_bytes()).is_err() {
+        if write_frame(&mut *stream, body).is_err() {
             // The client went away; the request was still served.
             ctx.obs.write_errors.incr(1);
         }
@@ -189,6 +238,12 @@ struct ServeObs {
     verify_failed: star_obs::Counter,
     certificates: star_obs::Counter,
     write_errors: star_obs::Counter,
+    // Responses whose encoded body outgrew MAX_FRAME and were replaced
+    // by the deterministic `response_too_large` error frame.
+    reject_oversize: star_obs::Counter,
+    // Binary v2 chunk frames written (one stream fans out into many).
+    v2_chunks: star_obs::Counter,
+    v2_streams: star_obs::Counter,
     inline_health: star_obs::Counter,
     inline_stats: star_obs::Counter,
     // Oracle hit taxonomy: a "literal" hit would also have been served by
@@ -223,6 +278,9 @@ fn obs() -> &'static ServeObs {
         verify_failed: star_obs::counter("serve.verify_failed"),
         certificates: star_obs::counter("serve.certificates"),
         write_errors: star_obs::counter("serve.write_errors"),
+        reject_oversize: star_obs::counter("serve.reject.oversize_response"),
+        v2_chunks: star_obs::counter("serve.v2.chunks"),
+        v2_streams: star_obs::counter("serve.v2.streams"),
         inline_health: star_obs::counter("serve.inline.health"),
         inline_stats: star_obs::counter("serve.inline.stats"),
         oracle_literal_hit: star_obs::counter("serve.oracle.literal_hit"),
@@ -253,6 +311,7 @@ struct Ctx {
     default_deadline: Option<Duration>,
     queue_capacity: usize,
     verify_responses: bool,
+    max_proto: u8,
     slo: Option<Watchdog>,
     active_conns: AtomicUsize,
     served: AtomicU64,
@@ -306,6 +365,7 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
         default_deadline: config.default_deadline_ms.map(Duration::from_millis),
         queue_capacity: config.queue_capacity,
         verify_responses: config.verify_responses,
+        max_proto: config.max_proto,
         slo: config.slo.map(Watchdog::new),
         active_conns: AtomicUsize::new(0),
         served: AtomicU64::new(0),
@@ -317,9 +377,14 @@ pub fn run(config: ServeConfig) -> Result<ServeSummary, String> {
     println!("star-serve listening on {local}");
     std::io::stdout().flush().ok();
     eprintln!(
-        "star-serve: {workers} workers, queue {}, cache {} MiB{}{}",
+        "star-serve: {workers} workers, queue {}, cache {} MiB{}{}{}",
         config.queue_capacity,
         config.cache_bytes >> 20,
+        if config.max_proto <= PROTO_V1 {
+            ", proto v1 only"
+        } else {
+            ""
+        },
         if config.verify_responses {
             ", verify on"
         } else {
@@ -639,6 +704,17 @@ fn stats_response(ctx: &Ctx, id: Option<&str>) -> Json {
                 Json::from(ctx.rejected_deadline.load(Ordering::Relaxed)),
             ),
             (
+                "rejected_oversize_response".to_string(),
+                Json::from(ctx.obs.reject_oversize.get()),
+            ),
+            (
+                "v2".to_string(),
+                Json::Obj(vec![
+                    ("streams".to_string(), Json::from(ctx.obs.v2_streams.get())),
+                    ("chunks".to_string(), Json::from(ctx.obs.v2_chunks.get())),
+                ]),
+            ),
+            (
                 "inline".to_string(),
                 Json::Obj(vec![
                     (
@@ -681,6 +757,14 @@ fn worker_loop(ctx: &Ctx) {
     }
 }
 
+/// What a worker produced for one queued request: a single JSON
+/// document, or a negotiated-v2 stream — a JSON header frame followed by
+/// already-encoded binary chunk frames.
+enum Reply {
+    Json(Json),
+    Stream { header: Json, chunks: Vec<Vec<u8>> },
+}
+
 fn handle_job(ctx: &Ctx, job: Job) {
     // The request's trace id covers everything the worker does for it:
     // the embed span tree, flight-recorder events (deadline misses,
@@ -720,31 +804,42 @@ fn handle_job(ctx: &Ctx, job: Job) {
     }
     let id = job.request.id.clone();
     let options = job.request.options.clone();
-    let (mut response, hist) = match &job.request.body {
+    let (mut reply, hist) = match &job.request.body {
         RequestBody::Embed {
             n,
             faults,
             return_ring,
             return_certificate,
-        } => (
-            serve_embed(
-                ctx,
-                id.as_deref(),
-                *n,
-                faults,
-                &options,
-                *return_ring,
-                *return_certificate,
-                &mut timing,
-            ),
-            &ctx.obs.lat_embed,
-        ),
+        } => {
+            // v2 is honored only when both sides agree: the request
+            // asked for it and the server's `--proto` cap allows it.
+            let stream = (job.request.proto >= PROTO_V2 && ctx.max_proto >= PROTO_V2).then(|| {
+                (
+                    job.request.cursor,
+                    job.request.chunk_vertices.unwrap_or(DEFAULT_CHUNK_VERTICES),
+                )
+            });
+            (
+                serve_embed(
+                    ctx,
+                    id.as_deref(),
+                    *n,
+                    faults,
+                    &options,
+                    *return_ring,
+                    *return_certificate,
+                    stream,
+                    &mut timing,
+                ),
+                &ctx.obs.lat_embed,
+            )
+        }
         RequestBody::EmbedBatch {
             n,
             scenarios,
             return_ring,
         } => (
-            serve_batch(
+            Reply::Json(serve_batch(
                 ctx,
                 id.as_deref(),
                 *n,
@@ -752,23 +847,64 @@ fn handle_job(ctx: &Ctx, job: Job) {
                 &options,
                 *return_ring,
                 &mut timing,
-            ),
+            )),
             &ctx.obs.lat_batch,
         ),
         RequestBody::Verify { n, ring, faults } => (
-            serve_verify(id.as_deref(), *n, ring, faults, &mut timing),
+            Reply::Json(serve_verify(id.as_deref(), *n, ring, faults, &mut timing)),
             &ctx.obs.lat_verify,
         ),
         // Health/stats never reach the queue.
         RequestBody::Health | RequestBody::Stats => unreachable!("inline request queued"),
     };
-    if let (Some(trace), Json::Obj(members)) = (job.request.trace_id, &mut response) {
-        attach_trace(members, trace, &timing);
+    if let Some(trace) = job.request.trace_id {
+        let doc = match &mut reply {
+            Reply::Json(doc) => doc,
+            Reply::Stream { header, .. } => header,
+        };
+        if let Json::Obj(members) = doc {
+            attach_trace(members, trace, &timing);
+        }
     }
     hist.observe_ns(job.received.elapsed().as_nanos() as u64);
     ctx.served.fetch_add(1, Ordering::Relaxed);
     ctx.obs.served.incr(1);
-    job.conn.respond(ctx, &response);
+    match &reply {
+        Reply::Json(response) => job.conn.respond(ctx, response),
+        Reply::Stream { header, chunks } => {
+            ctx.obs.v2_streams.incr(1);
+            // One lock for the whole stream: a concurrently finishing
+            // job on this connection must not interleave its frames
+            // between the header and its chunks (chunks carry no id).
+            // The header cannot outgrow the frame cap — it never
+            // carries the ring, only counts and a checksum.
+            let mut stream = job.conn.stream.lock().unwrap_or_else(|e| e.into_inner());
+            let header_body = header.to_string();
+            if write_frame(&mut *stream, header_body.as_bytes()).is_err() {
+                ctx.obs.write_errors.incr(1);
+            } else {
+                for (seq, body) in chunks.iter().enumerate() {
+                    if write_frame(&mut *stream, body).is_err() {
+                        // The client went away mid-stream; it can
+                        // resume from its cursor on a new connection.
+                        ctx.obs.write_errors.incr(1);
+                        break;
+                    }
+                    ctx.obs.v2_chunks.incr(1);
+                    if star_obs::flightrec::enabled() {
+                        star_obs::flightrec::record(
+                            "serve.v2.chunk",
+                            job.conn.peer.clone(),
+                            &[
+                                ("seq", star_obs::FieldValue::U64(seq as u64)),
+                                ("bytes", star_obs::FieldValue::U64(body.len() as u64)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    }
     observe_slo(ctx, &job, false, &timing);
 }
 
@@ -792,22 +928,24 @@ fn canonicalize_scenario(ctx: &Ctx, n: usize, faults: &star_fault::FaultSet) -> 
     ctx.canon.canonicalize(n, &ranks)
 }
 
-/// Maps a canonical-frame ring back to the caller's frame through the
-/// witness inverse (free when the witness is the identity).
-fn map_back(ring_c: Arc<[Perm]>, canon: &Canon) -> Arc<[Perm]> {
+/// Maps a canonical-frame delta back to the caller's frame through the
+/// witness inverse (free when the witness is the identity). Because
+/// automorphisms relabel step dimensions by a fixed table, this is one
+/// permutation composition plus a nibble pass — never a per-vertex walk.
+fn map_back(delta_c: Arc<RingDelta>, canon: &Canon) -> Arc<RingDelta> {
     if canon.witness().is_identity() {
-        ring_c
+        delta_c
     } else {
-        Arc::from(map_ring(&ring_c, &canon.witness().inverse()))
+        Arc::new(delta_c.map_through(&canon.witness().inverse()))
     }
 }
 
-/// Maps a caller-frame ring into the canonical frame for storage.
-fn map_to_canonical(ring: &Arc<[Perm]>, canon: &Canon) -> Arc<[Perm]> {
+/// Maps a caller-frame delta into the canonical frame for storage.
+fn map_to_canonical(delta: &Arc<RingDelta>, canon: &Canon) -> Arc<RingDelta> {
     if canon.witness().is_identity() {
-        Arc::clone(ring)
+        Arc::clone(delta)
     } else {
-        Arc::from(map_ring(ring, canon.witness()))
+        Arc::new(delta.map_through(canon.witness()))
     }
 }
 
@@ -834,70 +972,75 @@ fn classify_hit(ctx: &Ctx, literal_repeat: bool) {
 }
 
 /// Hands a freshly embedded canonical-frame ring to the write-behind
-/// worker (no-op without `--oracle-path`).
-fn persist_behind(ctx: &Ctx, key: &CacheKey, ring_c: &Arc<[Perm]>) {
+/// worker (no-op without `--oracle-path`). The store's record format is
+/// vertex-based, so the delta is expanded transiently here — on a
+/// worker thread, after the response is already assembled.
+fn persist_behind(ctx: &Ctx, key: &CacheKey, delta_c: &RingDelta) {
     if ctx.store.is_none() {
         return;
     }
+    let ring = Arc::new(delta_c.decode());
     let wb = ctx.write_behind.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(wb) = wb.as_ref() {
-        wb.submit(key.clone(), Arc::new(ring_c.to_vec()));
+        wb.submit(key.clone(), ring);
     }
 }
 
 /// Embeds one scenario through the canonical oracle: LRU first, then the
 /// disk store, then a fresh embed (cached and written behind in the
-/// canonical frame). Returns `(caller-frame ring, cached)` or the
-/// embedder's error message.
+/// canonical frame). Returns `(caller-frame delta, cached)` or the
+/// embedder's error message. Everything past the embedder works on the
+/// generator-delta encoding; vertices are only expanded where a response
+/// actually carries them.
 fn embed_cached(
     ctx: &Ctx,
     n: usize,
     faults: &star_fault::FaultSet,
     options: &EmbedOptions,
-) -> Result<(Arc<[Perm]>, bool), String> {
+) -> Result<(Arc<RingDelta>, bool), String> {
     let (canon, literal_repeat) = canonicalize_scenario(ctx, n, faults);
     let key = key_for(&canon, options);
-    if let Some(ring_c) = ctx.cache.get(&key) {
+    if let Some(delta_c) = ctx.cache.get(&key) {
         classify_hit(ctx, literal_repeat);
-        return Ok((map_back(ring_c, &canon), true));
+        return Ok((map_back(delta_c, &canon), true));
     }
     if let Some(store) = &ctx.store {
         if let Some(ring_vec) = store.get(&key) {
-            let ring_c: Arc<[Perm]> = Arc::from(ring_vec);
-            ctx.cache.insert(key.clone(), Arc::clone(&ring_c));
+            let delta_c = Arc::new(
+                RingDelta::encode(&ring_vec)
+                    .map_err(|e| format!("stored ring does not delta-encode: {e}"))?,
+            );
+            ctx.cache.insert(key.clone(), Arc::clone(&delta_c));
             ctx.obs.oracle_store_hit.incr(1);
             classify_hit(ctx, literal_repeat);
-            return Ok((map_back(ring_c, &canon), true));
+            return Ok((map_back(delta_c, &canon), true));
         }
     }
     ctx.obs.oracle_miss.incr(1);
-    let ring = embed_with_options(n, faults, options).map_err(|e| e.to_string())?;
-    let ring: Arc<[Perm]> = Arc::from(ring.into_vertices());
-    let ring_c = map_to_canonical(&ring, &canon);
-    ctx.cache.insert(key.clone(), Arc::clone(&ring_c));
-    persist_behind(ctx, &key, &ring_c);
-    Ok((ring, false))
+    let vertices = embed_with_options(n, faults, options)
+        .map_err(|e| e.to_string())?
+        .into_vertices();
+    let delta = Arc::new(
+        RingDelta::encode(&vertices)
+            .map_err(|e| format!("embedded ring does not delta-encode: {e}"))?,
+    );
+    drop(vertices);
+    let delta_c = map_to_canonical(&delta, &canon);
+    ctx.cache.insert(key.clone(), Arc::clone(&delta_c));
+    persist_behind(ctx, &key, &delta_c);
+    Ok((delta, false))
 }
 
-fn embed_members(
-    n: usize,
-    ring: &[star_perm::Perm],
-    cached: bool,
-    return_ring: bool,
-) -> Vec<(String, Json)> {
-    let mut members = vec![
+fn embed_members(n: usize, ring_len: u64, cached: bool) -> Vec<(String, Json)> {
+    vec![
         ("n".to_string(), Json::from(n)),
-        ("ring_len".to_string(), Json::from(ring.len())),
+        ("ring_len".to_string(), Json::from(ring_len)),
         (
             "deficiency".to_string(),
-            Json::from(star_perm::factorial(n) - ring.len() as u64),
+            Json::from(star_perm::factorial(n) - ring_len),
         ),
         ("cached".to_string(), Json::Bool(cached)),
-    ];
-    if return_ring {
-        members.push(("ring".to_string(), ring_to_json(ring)));
-    }
-    members
+    ]
 }
 
 /// Server-side audit for `--verify` mode: full ring re-check plus the
@@ -924,42 +1067,93 @@ fn serve_embed(
     options: &EmbedOptions,
     return_ring: bool,
     return_certificate: bool,
+    stream: Option<(u64, u32)>,
     timing: &mut ServerTiming,
-) -> Json {
+) -> Reply {
     let embed_start = Instant::now();
     let embedded = embed_cached(ctx, n, faults, options);
     timing.embed_us = micros(embed_start.elapsed());
-    match embedded {
-        Ok((ring, cached)) => {
-            if ctx.verify_responses {
-                let verify_start = Instant::now();
-                let audit = audit_ring(n, &ring, faults);
-                timing.verify_us = micros(verify_start.elapsed());
-                if let Some(reason) = audit {
-                    ctx.obs.verify_failed.incr(1);
-                    star_obs::flightrec::record("serve.verify_failed", reason.clone(), &[]);
-                    star_obs::flightrec::dump_on_failure("serve.verify_failed");
-                    return error_response(id, ErrorCode::VerifyFailed, &reason);
-                }
-            }
-            let encode_start = Instant::now();
-            let mut members = embed_members(n, &ring, cached, return_ring);
-            timing.encode_us = micros(encode_start.elapsed());
-            if return_certificate || ctx.verify_responses {
-                // Certificate construction is verification work (it
-                // re-walks the ring), not response encoding.
-                let cert_start = Instant::now();
-                let cert = star_verify::certificate::certificate_for(n, faults, &ring);
-                timing.verify_us += micros(cert_start.elapsed());
-                ctx.obs.certificates.incr(1);
-                members.push(("certificate".to_string(), Json::from(cert)));
-            }
-            ok_response(id, "embed", members)
-        }
+    let (delta, cached) = match embedded {
+        Ok(pair) => pair,
         Err(msg) => {
             ctx.obs.embed_failed.incr(1);
-            error_response(id, ErrorCode::EmbedFailed, &msg)
+            return Reply::Json(error_response(id, ErrorCode::EmbedFailed, &msg));
         }
+    };
+    if ctx.verify_responses {
+        // The audit API is vertex-based, so `--verify` expands the ring
+        // transiently; the expansion is freed before encoding starts.
+        let verify_start = Instant::now();
+        let audit = audit_ring(n, &delta.decode(), faults);
+        timing.verify_us = micros(verify_start.elapsed());
+        if let Some(reason) = audit {
+            ctx.obs.verify_failed.incr(1);
+            star_obs::flightrec::record("serve.verify_failed", reason.clone(), &[]);
+            star_obs::flightrec::dump_on_failure("serve.verify_failed");
+            return Reply::Json(error_response(id, ErrorCode::VerifyFailed, &reason));
+        }
+    }
+    if let Some((cursor, chunk_vertices)) = stream {
+        // Negotiated v2: the ring (when requested) rides in binary chunk
+        // frames after the JSON header, and the certificate collapses to
+        // its checksum — the client recomputes it incrementally from the
+        // chunks it consumes, so no response member grows with the ring.
+        let encode_start = Instant::now();
+        let mut members = embed_members(n, delta.len() as u64, cached);
+        members.push(("proto".to_string(), Json::from(PROTO_V2 as u64)));
+        let chunks = if return_ring {
+            let chunks = match chunk_stream(&delta, cursor, chunk_vertices) {
+                Ok(chunks) => chunks,
+                Err(msg) => return Reply::Json(error_response(id, ErrorCode::BadRequest, &msg)),
+            };
+            members.push(("encoding".to_string(), Json::from("delta-v2")));
+            members.push(("cursor".to_string(), Json::from(cursor)));
+            members.push((
+                "chunk_vertices".to_string(),
+                Json::from(chunk_vertices as u64),
+            ));
+            members.push(("chunks".to_string(), Json::from(chunks.len())));
+            chunks.iter().map(ChunkFrame::encode).collect()
+        } else {
+            Vec::new()
+        };
+        timing.encode_us = micros(encode_start.elapsed());
+        if return_certificate || ctx.verify_responses {
+            // Checksum construction re-walks the ring: verification
+            // work, not encoding.
+            let cert_start = Instant::now();
+            let checksum =
+                star_verify::certificate::ring_checksum(delta.walk().map(|p| p.to_perm().rank()));
+            timing.verify_us += micros(cert_start.elapsed());
+            ctx.obs.certificates.incr(1);
+            members.push((
+                "cert_checksum".to_string(),
+                Json::from(format!("{checksum:016x}")),
+            ));
+        }
+        let header = ok_response(id, "embed", members);
+        if chunks.is_empty() {
+            Reply::Json(header)
+        } else {
+            Reply::Stream { header, chunks }
+        }
+    } else {
+        let encode_start = Instant::now();
+        let mut members = embed_members(n, delta.len() as u64, cached);
+        if return_ring {
+            members.push(("ring".to_string(), ring_to_json(&delta.decode())));
+        }
+        timing.encode_us = micros(encode_start.elapsed());
+        if return_certificate || ctx.verify_responses {
+            // Certificate construction is verification work (it
+            // re-walks the ring), not response encoding.
+            let cert_start = Instant::now();
+            let cert = star_verify::certificate::certificate_for(n, faults, &delta.decode());
+            timing.verify_us += micros(cert_start.elapsed());
+            ctx.obs.certificates.incr(1);
+            members.push(("certificate".to_string(), Json::from(cert)));
+        }
+        Reply::Json(ok_response(id, "embed", members))
     }
 }
 
@@ -978,7 +1172,7 @@ fn serve_batch(
 ) -> Json {
     let embed_start = Instant::now();
     enum Slot {
-        Ready(Arc<[star_perm::Perm]>, bool),
+        Ready(Arc<RingDelta>, bool),
         Pending(usize),
         Bad(String),
     }
@@ -991,17 +1185,19 @@ fn serve_batch(
             Ok(faults) => {
                 let (canon, literal_repeat) = canonicalize_scenario(ctx, n, faults);
                 let key = key_for(&canon, options);
-                if let Some(ring_c) = ctx.cache.get(&key) {
+                if let Some(delta_c) = ctx.cache.get(&key) {
                     classify_hit(ctx, literal_repeat);
-                    return Slot::Ready(map_back(ring_c, &canon), true);
+                    return Slot::Ready(map_back(delta_c, &canon), true);
                 }
                 if let Some(store) = &ctx.store {
                     if let Some(ring_vec) = store.get(&key) {
-                        let ring_c: Arc<[Perm]> = Arc::from(ring_vec);
-                        ctx.cache.insert(key, Arc::clone(&ring_c));
-                        ctx.obs.oracle_store_hit.incr(1);
-                        classify_hit(ctx, literal_repeat);
-                        return Slot::Ready(map_back(ring_c, &canon), true);
+                        if let Ok(delta) = RingDelta::encode(&ring_vec) {
+                            let delta_c = Arc::new(delta);
+                            ctx.cache.insert(key, Arc::clone(&delta_c));
+                            ctx.obs.oracle_store_hit.incr(1);
+                            classify_hit(ctx, literal_repeat);
+                            return Slot::Ready(map_back(delta_c, &canon), true);
+                        }
                     }
                 }
                 ctx.obs.oracle_miss.incr(1);
@@ -1012,15 +1208,27 @@ fn serve_batch(
         })
         .collect();
     let embedded = embed_many_with_options(n, &misses, options);
-    for (canon, result) in miss_canon.iter().zip(&embedded) {
-        if let Ok(ring) = result {
-            let ring: Arc<[Perm]> = Arc::from(ring.vertices().to_vec());
-            let ring_c = map_to_canonical(&ring, canon);
-            let key = key_for(canon, options);
-            ctx.cache.insert(key.clone(), Arc::clone(&ring_c));
-            persist_behind(ctx, &key, &ring_c);
-        }
-    }
+    // Delta-encode each fresh ring once (caller frame), populate the
+    // canonical cache/store, and keep the caller-frame delta for the
+    // per-item responses below.
+    let miss_results: Vec<Result<Arc<RingDelta>, String>> = miss_canon
+        .iter()
+        .zip(&embedded)
+        .map(|(canon, result)| match result {
+            Err(e) => Err(e.to_string()),
+            Ok(ring) => {
+                let delta = Arc::new(
+                    RingDelta::encode(ring.vertices())
+                        .map_err(|e| format!("embedded ring does not delta-encode: {e}"))?,
+                );
+                let delta_c = map_to_canonical(&delta, canon);
+                let key = key_for(canon, options);
+                ctx.cache.insert(key.clone(), Arc::clone(&delta_c));
+                persist_behind(ctx, &key, &delta_c);
+                Ok(delta)
+            }
+        })
+        .collect();
     timing.embed_us = micros(embed_start.elapsed());
     let encode_start = Instant::now();
     let mut verify_ns = 0u128;
@@ -1039,13 +1247,13 @@ fn serve_batch(
         .drain(..)
         .zip(scenarios)
         .map(|(slot, scenario)| {
-            let (ring, cached) = match slot {
-                Slot::Ready(ring, cached) => (ring, cached),
-                Slot::Pending(i) => match &embedded[i] {
-                    Ok(ring) => (Arc::from(ring.vertices().to_vec()), false),
+            let (delta, cached) = match slot {
+                Slot::Ready(delta, cached) => (delta, cached),
+                Slot::Pending(i) => match &miss_results[i] {
+                    Ok(delta) => (Arc::clone(delta), false),
                     Err(e) => {
                         failed += 1;
-                        return item_error(ErrorCode::EmbedFailed, &e.to_string());
+                        return item_error(ErrorCode::EmbedFailed, e);
                     }
                 },
                 Slot::Bad(msg) => {
@@ -1053,11 +1261,15 @@ fn serve_batch(
                     return item_error(ErrorCode::BadRequest, &msg);
                 }
             };
+            // Expand vertices only where this item's response (or the
+            // `--verify` audit) actually consumes them.
+            let ring: Option<Vec<Perm>> =
+                (ctx.verify_responses || return_ring).then(|| delta.decode());
             // Non-Bad slots always come from an Ok scenario, so the
             // if-let never skips a real audit.
             if let (true, Ok(faults)) = (ctx.verify_responses, scenario.as_ref()) {
                 let verify_start = Instant::now();
-                let audit = audit_ring(n, &ring, faults);
+                let audit = audit_ring(n, ring.as_deref().expect("decoded for audit"), faults);
                 verify_ns += verify_start.elapsed().as_nanos();
                 if let Some(reason) = audit {
                     verify_failed += 1;
@@ -1067,7 +1279,13 @@ fn serve_batch(
                 }
             }
             let mut members = vec![("ok".to_string(), Json::Bool(true))];
-            members.extend(embed_members(n, &ring, cached, return_ring));
+            members.extend(embed_members(n, delta.len() as u64, cached));
+            if return_ring {
+                members.push((
+                    "ring".to_string(),
+                    ring_to_json(ring.as_deref().expect("decoded for return_ring")),
+                ));
+            }
             Json::Obj(members)
         })
         .collect();

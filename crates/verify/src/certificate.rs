@@ -61,15 +61,29 @@ pub struct CertificateSummary {
     pub at_guarantee: bool,
 }
 
-fn fnv1a(data: impl Iterator<Item = u32>) -> u64 {
-    let mut hash: u64 = 0xcbf29ce484222325;
-    for word in data {
-        for byte in word.to_le_bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x100000001b3);
-        }
+/// FNV-1a basis (the running state before any rank is folded in).
+pub const CHECKSUM_BASIS: u64 = 0xcbf29ce484222325;
+
+/// Folds one ring rank into a running STARRING-CERT checksum. Exposed so
+/// streaming consumers (wire protocol v2) can verify a certificate
+/// checksum chunk-by-chunk without ever holding the whole ring:
+/// `ranks.fold(CHECKSUM_BASIS, fold_checksum)` equals the `checksum`
+/// line [`certificate_for`] writes for the same ranks in the same order.
+pub fn fold_checksum(mut hash: u64, rank: u32) -> u64 {
+    for byte in rank.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
     }
     hash
+}
+
+/// The STARRING-CERT checksum of a full rank sequence.
+pub fn ring_checksum(ranks: impl Iterator<Item = u32>) -> u64 {
+    ranks.fold(CHECKSUM_BASIS, fold_checksum)
+}
+
+fn fnv1a(data: impl Iterator<Item = u32>) -> u64 {
+    ring_checksum(data)
 }
 
 /// Produces the certificate text for a verified ring. (The caller should

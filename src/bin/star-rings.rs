@@ -120,6 +120,10 @@ fn usage() {
          \x20                         before sending (answers `verify_failed`\n\
          \x20                         instead of shipping a bad ring) and attach\n\
          \x20                         a STARRING-CERT certificate to embeds\n\
+         \x20     --proto <v>         highest wire protocol to negotiate: v1 | v2\n\
+         \x20                         (default v2). v2 clients get rings back as\n\
+         \x20                         streamed generator-delta chunks; v1 pins\n\
+         \x20                         JSON-only responses\n\
          \x20     --flightrec         record accept/reject/deadline events; flushed\n\
          \x20                         to disk on graceful shutdown (SIGINT drains)\n\
          \x20     --flightrec-out <f> dump file for --flightrec (implies it)\n\
@@ -161,6 +165,10 @@ fn usage() {
          \x20     --verify            request a STARRING-CERT with every embed\n\
          \x20                         and re-verify it client-side; exits\n\
          \x20                         nonzero on any certificate failure\n\
+         \x20     --proto <p>         v1 | v2 | mixed (default v1). v2 asks for\n\
+         \x20                         rings back as delta chunk streams and\n\
+         \x20                         verifies every chunk incrementally; mixed\n\
+         \x20                         coin-flips per request (closed loop only)\n\
          \x20 star-rings audit [OPTIONS]                  differential correctness gate:\n\
          \x20                                             seeded sweeps cross-checking the\n\
          \x20                                             embedder against the exhaustive\n\
@@ -742,6 +750,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.default_deadline_ms = Some(ms);
             }
             "--verify" => config.verify_responses = true,
+            "--proto" => {
+                i += 1;
+                config.max_proto = match args.get(i).map(String::as_str) {
+                    Some("v1") => star_rings::serve::proto::PROTO_V1,
+                    Some("v2") => star_rings::serve::proto::PROTO_V2,
+                    _ => return Err("--proto must be v1 or v2".to_string()),
+                };
+            }
             "--oracle-path" => {
                 i += 1;
                 config.oracle_path = Some(std::path::PathBuf::from(
@@ -884,6 +900,12 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
                     .ok_or("--seed needs a value")?
                     .parse()
                     .map_err(|_| "--seed must be an integer")?;
+            }
+            "--proto" => {
+                i += 1;
+                config.proto = star_rings::serve::WireProto::parse(
+                    args.get(i).ok_or("--proto needs a value")?,
+                )?;
             }
             "--out" => {
                 i += 1;

@@ -226,6 +226,7 @@ fn loadgen_verify_round_trip() {
         verify: true,
         arrivals: star_rings::serve::Arrivals::Closed,
         trace_out: None,
+        proto: star_rings::serve::WireProto::V1,
     };
     let report = star_rings::serve::loadgen::run(&config).expect("loadgen runs");
     assert!(report.ok > 0, "no successful responses");

@@ -6,8 +6,12 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use star_rings::bench::jsonv::Json;
-use star_rings::serve::client::{embed_request, plain_request};
-use star_rings::serve::Client;
+use star_rings::fault::FaultSet;
+use star_rings::serve::client::{
+    certified_embed_request, embed_request, plain_request, with_proto_v2, with_return_ring,
+    Received,
+};
+use star_rings::serve::{fetch_verified, Client, StreamVerifier};
 
 /// A `star-rings serve` child process bound to an OS-assigned port.
 struct Server {
@@ -291,6 +295,208 @@ fn sigint_drains_flushes_flight_recorder_and_exits_zero() {
     );
     assert!(text.contains("\"kind\":\"serve.accept\""), "{text}");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Seeded faults for an `n`-dimensional scenario, as the wire strings
+/// and the fault set the stream verifier checks against.
+fn seeded_faults(n: usize, k: usize, seed: u64) -> (Vec<String>, FaultSet) {
+    let set = star_rings::fault::gen::random_vertex_faults(n, k, seed).unwrap();
+    let strings = set.vertices().iter().map(|p| p.to_string()).collect();
+    (strings, set)
+}
+
+/// The v1 frame cap at n = 10 must fail loudly and deterministically —
+/// a `response_too_large` error frame on the same connection, counted
+/// in stats — instead of tearing the connection down.
+#[test]
+fn n10_v1_ring_hits_the_frame_cap_with_a_deterministic_error() {
+    let server = Server::start(&["--threads", "2"]);
+    let mut client = server.connect();
+    let (faults, _) = seeded_faults(10, 2, 0xCAFE);
+    let request = with_return_ring(embed_request("big-v1", 10, &faults, None));
+    // A debug-build n = 10 embed plus the doomed ~47 MB JSON render
+    // takes a while; patience here is about build profile, not protocol.
+    client.send(&request).unwrap();
+    let response = client.recv(Duration::from_secs(300)).unwrap();
+    assert!(!is_ok(&response), "{}", response.to_string().len());
+    assert_eq!(get_str(&response, "error"), "response_too_large");
+    assert_eq!(get_str(&response, "id"), "big-v1");
+    assert!(
+        get_str(&response, "message").contains("proto 2"),
+        "the error must point at the streaming fix: {response}"
+    );
+    // The connection survived and the rejection is counted.
+    let stats = client.call(&plain_request("s", "stats")).unwrap();
+    assert_eq!(get_u64(&stats, "rejected_oversize_response"), 1);
+    let after = client.call(&embed_request("after", 5, &[], None)).unwrap();
+    assert!(is_ok(&after), "{after}");
+}
+
+/// The tentpole end to end: the same n = 10 ring that breaks v1 streams
+/// under v2 — JSON header, binary delta chunks, incremental
+/// verification against the header's certificate checksum — without the
+/// client ever materializing the 3.6M-vertex ring.
+#[test]
+fn n10_v2_ring_streams_end_to_end_and_verifies_incrementally() {
+    let server = Server::start(&["--threads", "2"]);
+    let mut client = server.connect();
+    let (faults, fault_set) = seeded_faults(10, 2, 0xCAFE);
+    let request = with_proto_v2(
+        with_return_ring(certified_embed_request("big-v2", 10, &faults, None)),
+        0,
+        None,
+    );
+    let (header, summary) =
+        fetch_verified(&mut client, &request, Duration::from_secs(120), &fault_set).unwrap();
+    assert!(is_ok(&header), "{header}");
+    assert_eq!(get_u64(&header, "proto"), 2);
+    assert_eq!(get_str(&header, "encoding"), "delta-v2");
+    let ring_len = 3_628_800 - 2 * faults.len() as u64;
+    assert_eq!(get_u64(&header, "ring_len"), ring_len);
+    let summary = summary.expect("v2 response must stream");
+    assert_eq!(summary.ring_len, ring_len);
+    assert!(summary.at_guarantee);
+    // Default chunking tiles the whole ring.
+    assert_eq!(get_u64(&header, "chunks"), ring_len.div_ceil(1 << 16));
+    let stats = client.call(&plain_request("s", "stats")).unwrap();
+    let v2 = stats.get("v2").expect("stats carries the v2 block");
+    assert_eq!(get_u64(v2, "streams"), 1);
+    assert_eq!(get_u64(v2, "chunks"), ring_len.div_ceil(1 << 16));
+}
+
+/// Resumable cursors across connections: break a stream partway, then
+/// finish it from a fresh connection with `cursor` = the verifier's
+/// position — the same verifier accepts the spliced stream.
+#[test]
+fn v2_stream_resumes_from_a_cursor_on_a_new_connection() {
+    let server = Server::start(&["--threads", "2"]);
+    let (faults, fault_set) = seeded_faults(7, 3, 11);
+    let base = certified_embed_request("resume", 7, &faults, None);
+
+    // First connection: consume exactly two 256-vertex chunks, then
+    // abandon the stream mid-flight.
+    let mut first = server.connect();
+    first
+        .send(&with_proto_v2(with_return_ring(base.clone()), 0, Some(256)))
+        .unwrap();
+    let header = match first.recv_any(Duration::from_secs(30)).unwrap() {
+        Received::Doc(doc) => doc,
+        Received::Chunk(_) => panic!("chunk before header"),
+    };
+    assert!(is_ok(&header), "{header}");
+    let ring_len = get_u64(&header, "ring_len");
+    let mut verifier = StreamVerifier::new(7, ring_len, &fault_set).unwrap();
+    verifier
+        .expect_checksum(get_str(&header, "cert_checksum"))
+        .unwrap();
+    for _ in 0..2 {
+        match first.recv_any(Duration::from_secs(30)).unwrap() {
+            Received::Chunk(chunk) => verifier.feed(&chunk).unwrap(),
+            Received::Doc(doc) => panic!("JSON inside the stream: {doc}"),
+        }
+    }
+    assert_eq!(verifier.position(), 512);
+    drop(first);
+
+    // Second connection: re-request from the verifier's cursor and feed
+    // the same verifier to completion.
+    let mut second = server.connect();
+    second
+        .send(&with_proto_v2(
+            with_return_ring(base),
+            verifier.position(),
+            Some(256),
+        ))
+        .unwrap();
+    let resumed = match second.recv_any(Duration::from_secs(30)).unwrap() {
+        Received::Doc(doc) => doc,
+        Received::Chunk(_) => panic!("chunk before header"),
+    };
+    assert!(is_ok(&resumed), "{resumed}");
+    assert_eq!(get_u64(&resumed, "cursor"), 512);
+    loop {
+        match second.recv_any(Duration::from_secs(30)).unwrap() {
+            Received::Chunk(chunk) => {
+                let last = chunk.last;
+                verifier.feed(&chunk).unwrap();
+                if last {
+                    break;
+                }
+            }
+            Received::Doc(doc) => panic!("JSON inside the stream: {doc}"),
+        }
+    }
+    let summary = verifier.finish().unwrap();
+    assert_eq!(summary.ring_len, ring_len);
+    assert!(summary.at_guarantee);
+}
+
+/// One server, both protocols interleaved: a v1 client's responses are
+/// byte-for-byte the v1 shape (JSON ring, full certificate, no
+/// `encoding` member) while a v2 client on another connection streams.
+#[test]
+fn v1_and_v2_clients_interleave_on_one_server() {
+    let server = Server::start(&["--threads", "2"]);
+    let (faults, fault_set) = seeded_faults(6, 2, 5);
+
+    let mut v1 = server.connect();
+    let mut v2 = server.connect();
+    for round in 0..3 {
+        let v1_req = with_return_ring(certified_embed_request(
+            &format!("v1-{round}"),
+            6,
+            &faults,
+            None,
+        ));
+        let response = v1.call(&v1_req).unwrap();
+        assert!(is_ok(&response), "{response}");
+        assert!(response.get("encoding").is_none(), "{response}");
+        assert!(response.get("cert_checksum").is_none(), "{response}");
+        assert!(response.get("certificate").is_some(), "{response}");
+        let ring = response.get("ring").and_then(Json::as_arr).unwrap();
+        assert_eq!(ring.len() as u64, get_u64(&response, "ring_len"));
+
+        let v2_req = with_proto_v2(
+            with_return_ring(certified_embed_request(
+                &format!("v2-{round}"),
+                6,
+                &faults,
+                None,
+            )),
+            0,
+            Some(64),
+        );
+        let (header, summary) =
+            fetch_verified(&mut v2, &v2_req, Duration::from_secs(30), &fault_set).unwrap();
+        assert!(is_ok(&header), "{header}");
+        assert_eq!(get_str(&header, "encoding"), "delta-v2");
+        assert_eq!(
+            summary.expect("v2 streams").ring_len,
+            get_u64(&header, "ring_len")
+        );
+    }
+}
+
+/// `serve --proto v1` pins the server to JSON: a client asking for v2
+/// falls back transparently (the header simply lacks `encoding`, so
+/// `fetch_verified` treats the response as plain JSON).
+#[test]
+fn proto_v1_server_ignores_v2_negotiation() {
+    let server = Server::start(&["--threads", "1", "--proto", "v1"]);
+    let mut client = server.connect();
+    let (faults, fault_set) = seeded_faults(5, 1, 3);
+    let request = with_proto_v2(
+        with_return_ring(embed_request("fallback", 5, &faults, None)),
+        0,
+        None,
+    );
+    let (response, summary) =
+        fetch_verified(&mut client, &request, Duration::from_secs(30), &fault_set).unwrap();
+    assert!(is_ok(&response), "{response}");
+    assert!(summary.is_none(), "a v1-pinned server must not stream");
+    assert!(response.get("encoding").is_none(), "{response}");
+    let ring = response.get("ring").and_then(Json::as_arr).unwrap();
+    assert_eq!(ring.len() as u64, get_u64(&response, "ring_len"));
 }
 
 /// Satellite regression: inline health/stats answers must never land in

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use star_rings::bench::jsonv::Json;
 use star_rings::serve::client::{embed_request, with_trace_id};
-use star_rings::serve::loadgen::{self, Arrivals, LoadgenConfig, Mix};
+use star_rings::serve::loadgen::{self, Arrivals, LoadgenConfig, Mix, WireProto};
 use star_rings::serve::{Client, ServeConfig, SloConfig};
 
 /// The flight recorder, its dump path, and `request_shutdown` are all
@@ -149,6 +149,7 @@ fn open_loop_overload_breaches_the_slo_and_dumps_offending_traces() {
         seed: 7,
         verify: false,
         trace_out: None,
+        proto: WireProto::V1,
     })
     .unwrap();
     assert!(closed.ok > 0, "closed-loop run answered nothing");
@@ -164,6 +165,7 @@ fn open_loop_overload_breaches_the_slo_and_dumps_offending_traces() {
         seed: 8,
         verify: false,
         trace_out: Some(trace_out.clone()),
+        proto: WireProto::V1,
     })
     .unwrap();
     shutdown(server);
